@@ -1,0 +1,45 @@
+/**
+ * @file
+ * §V.02 ekfslam — matrix-operation share (paper: > 85% of execution
+ * time) and the Fig. 3 convergence behavior.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("02.ekfslam — EKF simultaneous localization and mapping",
+           "matrix operations take > 85% of execution time; estimates "
+           "converge with shrinking uncertainty (Fig. 3)");
+
+    Table table({"landmarks", "matrix-ops share", "pose err (m)",
+                 "landmark err (m)", "cov trace: start -> end",
+                 "ROI (ms)"});
+    for (int landmarks : {4, 6, 10, 16}) {
+        KernelReport report = runKernel(
+            "ekfslam", {"--landmarks", std::to_string(landmarks)});
+        const auto &trace = report.series.at("cov_trace");
+        table.addRow(
+            {std::to_string(landmarks),
+             Table::pct(report.metrics.at("matrix_ops_fraction")),
+             Table::num(report.metrics.at("final_pose_error_m"), 3),
+             Table::num(report.metrics.at("mean_landmark_error_m"), 3),
+             Table::num(trace.front(), 1) + " -> " +
+                 Table::num(trace.back(), 3),
+             Table::num(report.roi_seconds * 1e3, 1)});
+    }
+    table.print();
+
+    KernelReport fig3 = runKernel("ekfslam");
+    std::cout << "\nFig. 3 robot pose error over time (m): "
+              << seriesSummary(fig3.series.at("pose_error")) << "\n";
+    std::cout << "measured matrix-ops share at the paper's 6-landmark "
+                 "setting: "
+              << Table::pct(fig3.metrics.at("matrix_ops_fraction"))
+              << "   (paper: > 85%)\n";
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * §V.03 srec — point-cloud-operation share (paper: > 68% of time
+ * waiting on memory-bound point-cloud work) and reconstruction quality.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("03.srec — 3-D scene reconstruction (ICP)",
+           "memory-bound point-cloud operations dominate (> 68%); "
+           "matrix ops are the secondary cost (Fig. 4)");
+
+    Table table({"frames", "pointcloud share", "matrix-ops share",
+                 "pose err (m)", "model points", "ROI (ms)"});
+    for (int frames : {8, 14, 20}) {
+        KernelReport report =
+            runKernel("srec", {"--frames", std::to_string(frames)});
+        table.addRow(
+            {std::to_string(frames),
+             Table::pct(report.metrics.at("pointcloud_fraction")),
+             Table::pct(report.metrics.at("matrix_ops_fraction")),
+             Table::num(report.metrics.at("mean_pose_error_m"), 3),
+             Table::count(static_cast<long long>(
+                 report.metrics.at("model_points"))),
+             Table::num(report.roi_seconds * 1e3, 0)});
+    }
+    table.print();
+    std::cout << "\n(point-cloud share = NN correspondences + normals + "
+                 "transform/merge traffic; paper reports > 68% of time "
+                 "stalled on this memory-bound work)\n";
+    return 0;
+}

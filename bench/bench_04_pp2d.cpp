@@ -1,0 +1,37 @@
+/**
+ * @file
+ * §V.04 pp2d — collision-detection share (paper: > 65% of execution
+ * time) for the car footprint on city maps.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("04.pp2d — 2-D car path planning",
+           "collision detection takes > 65% of execution time (Fig. 5)");
+
+    Table table({"map (cells)", "collision share", "expanded",
+                 "collision checks", "path (m)", "ROI (ms)"});
+    for (int size : {256, 512, 1024}) {
+        KernelReport report =
+            runKernel("pp2d", {"--map-size", std::to_string(size)});
+        table.addRow(
+            {std::to_string(size) + "x" + std::to_string(size),
+             Table::pct(report.metrics.at("collision_fraction")),
+             Table::count(static_cast<long long>(
+                 report.metrics.at("expanded"))),
+             Table::count(static_cast<long long>(
+                 report.metrics.at("collision_checks"))),
+             Table::num(report.metrics.at("path_cost_m"), 0),
+             Table::num(report.roi_seconds * 1e3, 0)});
+    }
+    table.print();
+    std::cout << "\n(paper: > 65% of time in collision detection on "
+                 "Boston_1_1024 with a 4.8 x 1.8 m car)\n";
+    return 0;
+}

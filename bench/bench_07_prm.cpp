@@ -1,0 +1,46 @@
+/**
+ * @file
+ * §V.07 prm — the offline roadmap build is long but off the critical
+ * path; the online query (graph search + L2-norm evaluations) is what
+ * matters.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("07.prm — PRM arm motion planning",
+           "offline build is lengthy but paid once; the online search "
+           "with frequent L2-norm calculations is the critical path "
+           "(Figs. 8, 9)");
+
+    Table table({"map", "samples", "offline (ms)", "online ROI (ms)",
+                 "search share", "L2 evals", "path (rad)", "ok"});
+    for (const char *map : {"C", "F"}) {
+        for (int samples : {2000, 4000}) {
+            KernelReport report = runKernel(
+                "prm",
+                {"--map", map, "--samples", std::to_string(samples)});
+            table.addRow(
+                {std::string("Map-") + map, std::to_string(samples),
+                 Table::num(report.metrics.at("offline_seconds") * 1e3,
+                            0),
+                 Table::num(report.roi_seconds * 1e3, 2),
+                 Table::pct(report.metrics.at("graph_search_fraction") +
+                            report.metrics.at("online_connect_fraction")),
+                 Table::count(static_cast<long long>(
+                     report.metrics.at("l2_norm_evals"))),
+                 Table::num(report.metrics.at("path_cost_rad"), 2),
+                 report.success ? "yes" : "NO"});
+        }
+    }
+    table.print();
+    std::cout << "\n(offline/online ratio shows why the paper only "
+                 "counts the online query against the real-time "
+                 "budget)\n";
+    return 0;
+}

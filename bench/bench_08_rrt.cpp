@@ -1,0 +1,45 @@
+/**
+ * @file
+ * §V.08 rrt — collision detection (paper: up to 62%) and nearest-
+ * neighbor search (paper: up to 31%) dominate, averaged over seeds on
+ * Map-C and Map-F.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("08.rrt — RRT arm motion planning",
+           "collision detection up to 62% and NN search up to 31% of "
+           "execution time (Fig. 10)");
+
+    Table table({"map", "collision share (mean)", "nn share (mean)",
+                 "samples (mean)", "path rad (mean)", "ROI ms (mean)"});
+    const int n_seeds = 8;
+    for (const char *map : {"C", "F"}) {
+        RunningStat collision, nn, samples, cost, roi;
+        for (int seed = 1; seed <= n_seeds; ++seed) {
+            KernelReport report = runKernel(
+                "rrt", {"--map", map, "--seed", std::to_string(seed), "--instance-seed", std::to_string(seed)});
+            collision.add(report.metrics.at("collision_fraction"));
+            nn.add(report.metrics.at("nn_fraction"));
+            samples.add(report.metrics.at("samples"));
+            cost.add(report.metrics.at("path_cost_rad"));
+            roi.add(report.roi_seconds * 1e3);
+        }
+        table.addRow({std::string("Map-") + map,
+                      Table::pct(collision.mean()),
+                      Table::pct(nn.mean()),
+                      Table::num(samples.mean(), 0),
+                      Table::num(cost.mean(), 2),
+                      Table::num(roi.mean(), 2)});
+    }
+    table.print();
+    std::cout << "\n(" << n_seeds
+              << " seeds per map; paper: collision <= 62%, NN <= 31%)\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * §V.10 rrtpp — RRT with shortcut post-processing lies between RRT and
+ * RRT* in both runtime and path cost.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("10.rrtpp — RRT + shortcut post-processing",
+           "runtime and path cost lie between RRT and RRT* (Fig. 12)");
+
+    const int n_seeds = 8;
+    Table table(
+        {"planner", "path rad (mean)", "ROI ms (mean)", "found"});
+    struct Variant
+    {
+        const char *label;
+        const char *kernel;
+    };
+    for (const Variant &variant :
+         {Variant{"rrt (baseline)", "rrt"},
+          Variant{"rrt + post-process", "rrtpp"},
+          Variant{"rrt* (optimal-ish)", "rrtstar"}}) {
+        RunningStat cost, roi;
+        int found = 0;
+        for (int seed = 1; seed <= n_seeds; ++seed) {
+            KernelReport report = runKernel(
+                variant.kernel,
+                {"--map", "C", "--seed", std::to_string(seed), "--instance-seed", std::to_string(seed)});
+            if (!report.success)
+                continue;
+            ++found;
+            cost.add(report.metrics.at("path_cost_rad"));
+            roi.add(report.roi_seconds * 1e3);
+        }
+        table.addRow({variant.label, Table::num(cost.mean(), 2),
+                      Table::num(roi.mean(), 2),
+                      std::to_string(found) + "/" +
+                          std::to_string(n_seeds)});
+    }
+    table.print();
+
+    // Shortcut effectiveness detail.
+    KernelReport detail = runKernel("rrtpp", {"--map", "C"});
+    std::cout << "\nshortcut detail: cost "
+              << Table::num(detail.metrics.at("cost_before_rad"), 2)
+              << " -> "
+              << Table::num(detail.metrics.at("cost_after_rad"), 2)
+              << " rad with "
+              << static_cast<long long>(
+                     detail.metrics.at("shortcuts_applied"))
+              << " shortcuts ("
+              << Table::pct(detail.metrics.at("shortcut_fraction"))
+              << " of ROI spent post-processing)\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * §V.11 sym-blkw — graph search + string manipulation dominate the
+ * symbolic blocks-world planner.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("11.sym-blkw — symbolic planning: blocks world",
+           "the dominant operations are graph search and string "
+           "manipulation inside nodes (Fig. 13)");
+
+    Table table({"blocks", "ground actions", "expanded", "plan len",
+                 "string-ops share", "branching", "ROI (ms)"});
+    for (int blocks : {4, 5, 6, 7, 8}) {
+        KernelReport report = runKernel(
+            "sym-blkw", {"--blocks", std::to_string(blocks)});
+        table.addRow(
+            {std::to_string(blocks),
+             Table::count(static_cast<long long>(
+                 report.metrics.at("ground_actions"))),
+             Table::count(static_cast<long long>(
+                 report.metrics.at("expanded"))),
+             Table::num(report.metrics.at("plan_length"), 0),
+             Table::pct(report.metrics.at("string_ops_fraction")),
+             Table::num(report.metrics.at("branching_factor"), 1),
+             Table::num(report.roi_seconds * 1e3, 1)});
+    }
+    table.print();
+    std::cout << "\n(string-ops share = applicability tests, effect "
+                 "application, and relaxed-plan heuristics, all string/"
+                 "set manipulation over node atoms)\n";
+    return 0;
+}

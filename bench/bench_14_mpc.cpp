@@ -1,0 +1,36 @@
+/**
+ * @file
+ * §V.14 mpc — the optimization solve takes > 80% of execution time.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("14.mpc — model predictive control",
+           "solving the optimization problem takes > 80% of execution "
+           "time (Fig. 16)");
+
+    Table table({"horizon", "optimize share", "track err (m)",
+                 "max v (limit 2.0)", "cost evals", "ROI (ms)"});
+    for (int horizon : {8, 15, 25}) {
+        KernelReport report =
+            runKernel("mpc", {"--horizon", std::to_string(horizon)});
+        table.addRow(
+            {std::to_string(horizon),
+             Table::pct(report.metrics.at("optimize_fraction")),
+             Table::num(report.metrics.at("avg_tracking_error_m"), 3),
+             Table::num(report.metrics.at("max_velocity"), 3),
+             Table::count(static_cast<long long>(
+                 report.metrics.at("cost_evals"))),
+             Table::num(report.roi_seconds * 1e3, 0)});
+    }
+    table.print();
+    std::cout << "\n(paper: > 80% of time in the optimizer; constraints "
+                 "— velocity/acceleration limits — hold throughout)\n";
+    return 0;
+}

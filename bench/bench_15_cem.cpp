@@ -1,0 +1,50 @@
+/**
+ * @file
+ * §V.15 cem — reward improves over samples (Fig. 18) and the sort of
+ * full sample records is a non-trivial share of execution (paper:
+ * around one-third, configuration-dependent).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("15.cem — cross-entropy method for the ball-throwing robot",
+           "reward rises over 5 iterations x 15 samples (Fig. 18); "
+           "sorting sample records is ~1/3 of execution time");
+
+    KernelReport report = runKernel("cem");
+
+    // Fig. 18: per-iteration mean reward over the 75 samples.
+    const auto &rewards = report.series.at("reward");
+    Table fig18({"iteration", "mean reward", "best reward"});
+    for (int iter = 0; iter < 5; ++iter) {
+        RunningStat stat;
+        for (int s = 0; s < 15; ++s)
+            stat.add(rewards[static_cast<std::size_t>(iter * 15 + s)]);
+        fig18.addRow({std::to_string(iter + 1),
+                      Table::num(stat.mean(), 3),
+                      Table::num(stat.max(), 3)});
+    }
+    fig18.print();
+
+    std::cout << "\nphase shares over "
+              << static_cast<long long>(
+                     report.metrics.at("evaluations_per_episode"))
+              << "-evaluation episodes:\n";
+    Table shares({"phase", "share"});
+    for (const char *phase : {"sample", "evaluate", "sort", "refit"})
+        shares.addRow({phase, Table::pct(report.phaseFraction(phase))});
+    shares.print();
+    std::cout << "\nsort share: "
+              << Table::pct(report.metrics.at("sort_fraction"))
+              << "   (paper: ~33%, configuration-dependent)\n";
+    std::cout << "best reward (distance to goal): "
+              << Table::num(report.metrics.at("best_reward"), 3)
+              << " m\n";
+    return 0;
+}

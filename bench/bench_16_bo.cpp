@@ -1,0 +1,59 @@
+/**
+ * @file
+ * §V.16 bo — reward over 45 learning iterations (Fig. 19); BO runs
+ * ~15000x more (acquisition) iterations than cem and its sort is ~6x
+ * costlier per call due to the extra per-record metadata.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("16.bo — Bayesian optimization for the ball-throwing robot",
+           "~15000x more iterations than cem; sort ~6x costlier "
+           "(Fig. 19)");
+
+    KernelReport bo = runKernel("bo");
+    KernelReport cem = runKernel("cem", {"--repeats", "2000"});
+
+    // Fig. 19: reward over the learning iterations.
+    std::cout << "Fig. 19 reward over iterations: "
+              << seriesSummary(bo.series.at("reward"), 9) << "\n";
+    std::cout << "best reward: "
+              << Table::num(bo.metrics.at("best_reward"), 3) << " m\n\n";
+
+    Table shares({"phase", "share of ROI"});
+    for (const char *phase :
+         {"gp-fit", "acquisition", "sort", "evaluate"})
+        shares.addRow({phase, Table::pct(bo.phaseFraction(phase))});
+    shares.print();
+
+    // Iteration-count comparison (paper: ~15000x).
+    double bo_iters = bo.metrics.at("acquisition_evals");
+    double cem_iters = cem.metrics.at("evaluations_per_episode");
+    std::cout << "\nacquisition evaluations per learning run: "
+              << Table::count(static_cast<long long>(bo_iters))
+              << " vs cem's " << static_cast<long long>(cem_iters)
+              << " reward evaluations  ->  "
+              << Table::count(
+                     static_cast<long long>(bo_iters / cem_iters))
+              << "x   (paper: ~15000x)\n";
+
+    // Sort-cost comparison (paper: ~6x): mean cost per sort call.
+    double bo_sort_per_call =
+        bo.metrics.at("sort_ns_total") /
+        static_cast<double>(bo.profiler.phaseCount("sort"));
+    double cem_sort_per_call =
+        static_cast<double>(cem.profiler.phaseNs("sort")) /
+        static_cast<double>(cem.profiler.phaseCount("sort"));
+    std::cout << "sort cost per call: bo "
+              << Table::num(bo_sort_per_call, 0) << " ns vs cem "
+              << Table::num(cem_sort_per_call, 0) << " ns  ->  "
+              << Table::num(bo_sort_per_call / cem_sort_per_call, 1)
+              << "x   (paper: ~6x; BO records carry more metadata)\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation: unidirectional RRT vs bidirectional RRT-Connect on the
+ * paper's arm workspaces — how much the greedy two-tree strategy saves
+ * in samples and time.
+ */
+
+#include "arm/cspace.h"
+#include "arm/workspace.h"
+#include "bench_common.h"
+#include "geom/angle.h"
+#include "plan/rrt.h"
+#include "plan/rrt_connect.h"
+#include "util/stopwatch.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("ablation — RRT vs RRT-Connect",
+           "bidirectional growth with a greedy connect step vs the "
+           "paper's unidirectional RRT");
+
+    PlanarArm arm = PlanarArm::uniform({0.25, 0.0}, 5, 0.45);
+    ConfigSpace space(5, -kPi, kPi);
+
+    Table table({"map", "planner", "samples (mean)", "time ms (mean)",
+                 "path rad (mean)", "found"});
+    for (const char *map_name : {"C", "F"}) {
+        Workspace workspace =
+            map_name[0] == 'C' ? makeMapC() : makeMapF();
+        ArmCollisionChecker checker(arm, workspace);
+        RrtPlanner rrt(space, checker, {});
+        RrtConnectPlanner connect(space, checker, {});
+
+        RunningStat rrt_samples, rrt_ms, rrt_cost;
+        RunningStat con_samples, con_ms, con_cost;
+        int rrt_found = 0, con_found = 0;
+        const int n_runs = 8;
+        for (int run = 1; run <= n_runs; ++run) {
+            Rng endpoint_rng(static_cast<std::uint64_t>(run) *
+                                 2654435761ULL +
+                             99);
+            auto sample_free = [&]() -> ArmConfig {
+                while (true) {
+                    ArmConfig q = space.sample(endpoint_rng);
+                    if (!checker.configCollides(q))
+                        return q;
+                }
+            };
+            ArmConfig start = sample_free();
+            ArmConfig goal;
+            do {
+                goal = sample_free();
+            } while (ConfigSpace::distance(start, goal) < 1.5);
+
+            Rng rng_a(static_cast<std::uint64_t>(run));
+            Stopwatch timer_a;
+            MotionPlan a = rrt.plan(start, goal, rng_a);
+            double a_ms = timer_a.elapsedSec() * 1e3;
+            if (a.found) {
+                ++rrt_found;
+                rrt_samples.add(static_cast<double>(a.samples_drawn));
+                rrt_ms.add(a_ms);
+                rrt_cost.add(a.cost);
+            }
+
+            Rng rng_b(static_cast<std::uint64_t>(run));
+            Stopwatch timer_b;
+            MotionPlan b = connect.plan(start, goal, rng_b);
+            double b_ms = timer_b.elapsedSec() * 1e3;
+            if (b.found) {
+                ++con_found;
+                con_samples.add(static_cast<double>(b.samples_drawn));
+                con_ms.add(b_ms);
+                con_cost.add(b.cost);
+            }
+        }
+        table.addRow({std::string("Map-") + map_name, "rrt",
+                      Table::num(rrt_samples.mean(), 0),
+                      Table::num(rrt_ms.mean(), 2),
+                      Table::num(rrt_cost.mean(), 2),
+                      std::to_string(rrt_found) + "/8"});
+        table.addRow({std::string("Map-") + map_name, "rrt-connect",
+                      Table::num(con_samples.mean(), 0),
+                      Table::num(con_ms.mean(), 2),
+                      Table::num(con_cost.mean(), 2),
+                      std::to_string(con_found) + "/8"});
+    }
+    table.print();
+    return 0;
+}

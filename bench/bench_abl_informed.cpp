@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation: informed sampling in RRT* (Gammell et al., the paper's
+ * [34]): after the first solution, rejecting samples outside the
+ * informed spheroid focuses refinement where it can still help.
+ */
+
+#include "arm/cspace.h"
+#include "arm/workspace.h"
+#include "bench_common.h"
+#include "geom/angle.h"
+#include "plan/rrt_star.h"
+#include "util/stopwatch.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("ablation — informed sampling in RRT*",
+           "reject provably-useless samples once a solution exists "
+           "(Informed RRT*, the paper's reference [34])");
+
+    PlanarArm arm = PlanarArm::uniform({0.25, 0.0}, 5, 0.45);
+    Workspace workspace = makeMapC();
+    ConfigSpace space(5, -kPi, kPi);
+    ArmCollisionChecker checker(arm, workspace);
+
+    Table table({"variant", "path rad (mean)", "time ms (mean)",
+                 "tree size (mean)", "found"});
+    for (bool informed : {false, true}) {
+        RrtStarConfig config;
+        config.max_samples = 4000;
+        config.refine_factor = 1e18;  // full budget: quality mode
+        config.rewire_radius = 1.2;   // wide enough to rewire in 5-D
+        config.informed_sampling = informed;
+        RrtStarPlanner planner(space, checker, config);
+
+        RunningStat cost, ms, tree;
+        int found = 0;
+        const int n_runs = 6;
+        for (int run = 1; run <= n_runs; ++run) {
+            // Endpoints fixed per run index, shared across variants.
+            Rng endpoint_rng(static_cast<std::uint64_t>(run) * 17 + 5);
+            ArmConfig start, goal;
+            auto sample_free = [&]() -> ArmConfig {
+                while (true) {
+                    ArmConfig q = space.sample(endpoint_rng);
+                    if (!checker.configCollides(q))
+                        return q;
+                }
+            };
+            start = sample_free();
+            do {
+                goal = sample_free();
+            } while (ConfigSpace::distance(start, goal) < 1.2);
+
+            Rng rng(static_cast<std::uint64_t>(run));
+            Stopwatch timer;
+            RrtStarPlan plan = planner.plan(start, goal, rng);
+            if (!plan.found)
+                continue;
+            ++found;
+            cost.add(plan.cost);
+            ms.add(timer.elapsedSec() * 1e3);
+            tree.add(static_cast<double>(plan.tree_size));
+        }
+        table.addRow({informed ? "informed" : "uniform",
+                      Table::num(cost.mean(), 2),
+                      Table::num(ms.mean(), 1),
+                      Table::num(tree.mean(), 0),
+                      std::to_string(found) + "/6"});
+    }
+    table.print();
+    std::cout << "\n(at benchmark scales the incumbent path cost stays "
+                 "well above the start-goal distance, so the informed "
+                 "spheroid covers most of the joint space and the "
+                 "filter is nearly neutral — informed sampling pays off "
+                 "as the incumbent approaches optimal, per the paper's "
+                 "reference [34])\n";
+    return 0;
+}

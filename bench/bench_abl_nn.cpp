@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation: k-d tree vs brute-force nearest-neighbor search inside RRT
+ * (the paper attributes up to 31% of RRT's time to NN search; this
+ * quantifies what the k-d tree buys as the tree grows).
+ */
+
+#include "bench_common.h"
+#include "pointcloud/dyn_kdtree.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("ablation — nearest-neighbor structure in RRT",
+           "k-d tree vs brute-force scan (design choice behind the "
+           "paper's 31% NN share)");
+
+    // Micro: query cost vs tree size, 5-D joint space.
+    Table micro({"tree size", "kd-tree us/query", "brute us/query",
+                 "speedup"});
+    Rng rng(1);
+    for (std::size_t n : {1000u, 10000u, 50000u}) {
+        DynKdTree tree(5);
+        std::vector<std::vector<double>> points;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::vector<double> p(5);
+            for (double &v : p)
+                v = rng.uniform(-3.0, 3.0);
+            tree.insert(p, static_cast<std::uint32_t>(i));
+            points.push_back(std::move(p));
+        }
+        const int queries = 2000;
+        std::vector<std::vector<double>> qs;
+        for (int q = 0; q < queries; ++q) {
+            std::vector<double> p(5);
+            for (double &v : p)
+                v = rng.uniform(-3.0, 3.0);
+            qs.push_back(std::move(p));
+        }
+
+        Stopwatch kd_timer;
+        double checksum = 0.0;
+        for (const auto &q : qs)
+            checksum += tree.nearest(q).dist2;
+        double kd_us = kd_timer.elapsedSec() * 1e6 / queries;
+
+        Stopwatch brute_timer;
+        for (const auto &q : qs) {
+            double best = 1e300;
+            for (const auto &p : points) {
+                double d2 = 0.0;
+                for (int d = 0; d < 5; ++d) {
+                    double diff = p[static_cast<std::size_t>(d)] -
+                                  q[static_cast<std::size_t>(d)];
+                    d2 += diff * diff;
+                }
+                best = std::min(best, d2);
+            }
+            checksum += best;
+        }
+        double brute_us = brute_timer.elapsedSec() * 1e6 / queries;
+
+        micro.addRow({Table::count(static_cast<long long>(n)),
+                      Table::num(kd_us, 2), Table::num(brute_us, 2),
+                      Table::num(brute_us / kd_us, 1) + "x"});
+        if (checksum < 0)
+            std::cout << "";  // keep the checksum live
+    }
+    micro.print();
+
+    // End-to-end: the rrt kernel with and without the k-d tree.
+    std::cout << "\nend-to-end rrt kernel (Map-C, mean of 8 seeds):\n";
+    Table e2e({"nn structure", "ROI ms (mean)", "nn share (mean)"});
+    for (int brute : {0, 1}) {
+        RunningStat roi, nn;
+        for (int seed = 1; seed <= 8; ++seed) {
+            KernelReport report = runKernel(
+                "rrt", {"--no-kdtree", std::to_string(brute), "--seed",
+                        std::to_string(seed), "--instance-seed",
+                        std::to_string(seed)});
+            roi.add(report.roi_seconds * 1e3);
+            nn.add(report.metrics.at("nn_fraction"));
+        }
+        e2e.addRow({brute ? "brute force" : "kd-tree",
+                    Table::num(roi.mean(), 2), Table::pct(nn.mean())});
+    }
+    e2e.print();
+    return 0;
+}

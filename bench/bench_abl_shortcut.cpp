@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: shortcut iteration count (§V.10): "the post-processing
+ * step could run for several iterations to further reduce the path
+ * cost" — this sweeps that knob.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("ablation — shortcut iterations in rrtpp",
+           "more post-processing iterations keep lowering path cost "
+           "with diminishing returns (paper Fig. 12)");
+
+    Table table({"iterations", "path rad (mean)", "improvement",
+                 "post-proc share (mean)"});
+    const int n_seeds = 6;
+    double baseline_cost = 0.0;
+    for (int iterations : {0, 25, 50, 100, 200, 400}) {
+        RunningStat cost, share;
+        for (int seed = 1; seed <= n_seeds; ++seed) {
+            KernelReport report = runKernel(
+                "rrtpp",
+                {"--shortcut-iterations", std::to_string(iterations),
+                 "--seed", std::to_string(seed), "--instance-seed", std::to_string(seed)});
+            if (!report.success)
+                continue;
+            cost.add(report.metrics.at("cost_after_rad"));
+            share.add(report.metrics.at("shortcut_fraction"));
+        }
+        if (iterations == 0)
+            baseline_cost = cost.mean();
+        table.addRow(
+            {std::to_string(iterations), Table::num(cost.mean(), 2),
+             Table::pct(1.0 - cost.mean() / baseline_cost),
+             Table::pct(share.mean())});
+    }
+    table.print();
+    return 0;
+}

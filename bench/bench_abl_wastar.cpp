@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: Weighted A* epsilon sweep (the movtar design choice,
+ * §V.06): heuristic inflation trades path cost for search speed,
+ * bounded by epsilon.
+ */
+
+#include "bench_common.h"
+#include "grid/map_gen.h"
+#include "search/grid_planner2d.h"
+#include "util/stopwatch.h"
+
+int
+main()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("ablation — Weighted A* epsilon sweep",
+           "WA* inflates the heuristic by epsilon: up to epsilon x "
+           "costlier paths for much faster search (paper §V.06)");
+
+    OccupancyGrid2D map = makeCityMap(512, 0.5, 1);
+    GridPlanner2D planner(map);
+    // Long diagonal route, point robot.
+    auto find_free = [&](double fx, double fy) {
+        Cell2 c{static_cast<int>(512 * fx), static_cast<int>(512 * fy)};
+        while (map.occupied(c.x, c.y))
+            c.x = (c.x + 1) % 512;
+        return c;
+    };
+    Cell2 start = find_free(0.03, 0.03);
+    Cell2 goal = find_free(0.97, 0.97);
+
+    GridPlan2D optimal = planner.plan(start, goal, 1.0);
+    Table table({"epsilon", "expanded", "time (ms)", "path (m)",
+                 "cost / optimal", "bound"});
+    for (double epsilon : {1.0, 1.2, 1.5, 2.0, 3.0, 5.0}) {
+        Stopwatch timer;
+        GridPlan2D plan = planner.plan(start, goal, epsilon);
+        double ms = timer.elapsedSec() * 1e3;
+        double ratio = plan.cost / optimal.cost;
+        table.addRow({Table::num(epsilon, 1),
+                      Table::count(static_cast<long long>(plan.expanded)),
+                      Table::num(ms, 2), Table::num(plan.cost, 1),
+                      Table::num(ratio, 4),
+                      ratio <= epsilon + 1e-9 ? "holds" : "VIOLATED"});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: running kernels over seed
+ * sweeps, printing paper-style headers, and formatting.
+ */
+
+#ifndef RTR_BENCH_BENCH_COMMON_H
+#define RTR_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "kernels/registry.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace rtr {
+namespace bench {
+
+/** Print the standard experiment banner. */
+inline void
+banner(const std::string &experiment, const std::string &paper_claim)
+{
+    std::cout << "==============================================================\n";
+    std::cout << experiment << "\n";
+    std::cout << "paper: " << paper_claim << "\n";
+    std::cout << "==============================================================\n";
+}
+
+/** One kernel run with option overrides. */
+inline KernelReport
+runKernel(const std::string &name,
+          const std::vector<std::string> &overrides = {})
+{
+    return makeKernel(name)->runWithDefaults(overrides);
+}
+
+/**
+ * Run a kernel across several seeds and accumulate a metric.
+ * Also accumulates the ROI seconds in @p roi_out when non-null.
+ */
+inline RunningStat
+sweepMetric(const std::string &kernel, const std::string &metric,
+            const std::vector<std::string> &base_overrides, int n_seeds,
+            RunningStat *roi_out = nullptr)
+{
+    RunningStat stat;
+    for (int seed = 1; seed <= n_seeds; ++seed) {
+        std::vector<std::string> overrides = base_overrides;
+        overrides.push_back("--seed");
+        overrides.push_back(std::to_string(seed));
+        KernelReport report = runKernel(kernel, overrides);
+        if (report.metrics.count(metric))
+            stat.add(report.metrics.at(metric));
+        if (roi_out)
+            roi_out->add(report.roi_seconds);
+    }
+    return stat;
+}
+
+/** Render a (possibly downsampled) series as a sparkline-style row. */
+inline std::string
+seriesSummary(const std::vector<double> &series, std::size_t n_points = 8)
+{
+    if (series.empty())
+        return "(empty)";
+    std::string out;
+    for (std::size_t i = 0; i < n_points; ++i) {
+        std::size_t idx = i * (series.size() - 1) /
+                          (n_points > 1 ? n_points - 1 : 1);
+        if (i)
+            out += " -> ";
+        out += Table::num(series[idx], 2);
+    }
+    return out;
+}
+
+} // namespace bench
+} // namespace rtr
+
+#endif // RTR_BENCH_BENCH_COMMON_H

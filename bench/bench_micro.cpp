@@ -1,0 +1,183 @@
+/**
+ * @file
+ * google-benchmark microkernels: the primitive operations the paper's
+ * per-kernel analyses identify as acceleration targets (ray-casting,
+ * footprint collision checks, L2 norms, matrix multiply/invert, k-d
+ * tree queries, record sorts, symbolic state application).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "arm/cspace.h"
+#include "control/cem.h"
+#include "grid/footprint.h"
+#include "grid/map_gen.h"
+#include "grid/raycast.h"
+#include "linalg/decomp.h"
+#include "grid/distance_transform.h"
+#include "linalg/matrix.h"
+#include "pointcloud/dyn_kdtree.h"
+#include "symbolic/blocks_world.h"
+#include "symbolic/planner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rtr;
+
+void
+BM_Raycast(benchmark::State &state)
+{
+    OccupancyGrid2D map = makeIndoorMap(240, 160, 0.25, 1);
+    Rng rng(2);
+    Vec2 origin{30.0, 20.0};
+    while (map.occupiedWorld(origin))
+        origin.x += 0.25;
+    double angle = 0.0;
+    for (auto _ : state) {
+        angle += 0.1;
+        benchmark::DoNotOptimize(castRay(map, origin, angle, 10.0));
+    }
+}
+BENCHMARK(BM_Raycast);
+
+void
+BM_FootprintCollision(benchmark::State &state)
+{
+    OccupancyGrid2D map = makeCityMap(512, 0.5, 1);
+    RectFootprint car(4.8, 1.8);
+    Rng rng(3);
+    std::vector<Pose2> poses;
+    for (int i = 0; i < 256; ++i)
+        poses.push_back(Pose2{rng.uniform(10, 240), rng.uniform(10, 240),
+                              rng.uniform(-kPi, kPi)});
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            car.collides(map, poses[i++ % poses.size()]));
+    }
+}
+BENCHMARK(BM_FootprintCollision);
+
+void
+BM_L2Norm5D(benchmark::State &state)
+{
+    Rng rng(4);
+    ConfigSpace space(5, -kPi, kPi);
+    ArmConfig a = space.sample(rng);
+    ArmConfig b = space.sample(rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ConfigSpace::distance(a, b));
+        a[0] += 1e-9;  // defeat caching
+    }
+}
+BENCHMARK(BM_L2Norm5D);
+
+void
+BM_MatrixMultiply(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    Matrix a(n, n), b(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            a(r, c) = rng.uniform(-1, 1);
+            b(r, c) = rng.uniform(-1, 1);
+        }
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a * b);
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(8)->Arg(15)->Arg(31);
+
+void
+BM_MatrixInverse(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(6);
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c)
+            a(r, c) = rng.uniform(-1, 1);
+        a(r, r) += 2.0;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(inverse(a));
+}
+BENCHMARK(BM_MatrixInverse)->Arg(8)->Arg(15)->Arg(31);
+
+void
+BM_KdTreeNearest(benchmark::State &state)
+{
+    Rng rng(7);
+    DynKdTree tree(5);
+    for (int i = 0; i < 20000; ++i) {
+        std::vector<double> p(5);
+        for (double &v : p)
+            v = rng.uniform(-3, 3);
+        tree.insert(p, static_cast<std::uint32_t>(i));
+    }
+    std::vector<double> q(5, 0.0);
+    for (auto _ : state) {
+        q[0] = rng.uniform(-3, 3);
+        benchmark::DoNotOptimize(tree.nearest(q));
+    }
+}
+BENCHMARK(BM_KdTreeNearest);
+
+void
+BM_SortSampleRecords(benchmark::State &state)
+{
+    // The cem/bo sort: reward-keyed records carrying parameter vectors
+    // and inline traces.
+    Rng rng(8);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<CemSample> master(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        master[i].params = {rng.uniform(), rng.uniform(), rng.uniform()};
+        master[i].reward = rng.uniform();
+        for (double &t : master[i].trace)
+            t = rng.uniform();
+    }
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::vector<CemSample> copy = master;
+        state.ResumeTiming();
+        std::sort(copy.begin(), copy.end(),
+                  [](const CemSample &a, const CemSample &b) {
+                      return a.reward > b.reward;
+                  });
+        benchmark::DoNotOptimize(copy.data());
+    }
+}
+BENCHMARK(BM_SortSampleRecords)->Arg(15)->Arg(50)->Arg(500);
+
+void
+BM_SymbolicApply(benchmark::State &state)
+{
+    SymbolicProblem problem = makeBlocksWorld(8, 1);
+    std::vector<GroundAction> actions = groundActions(problem);
+    SymbolicState current = problem.initial;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const GroundAction &action = actions[i++ % actions.size()];
+        if (action.applicable(current))
+            benchmark::DoNotOptimize(action.apply(current));
+        else
+            benchmark::DoNotOptimize(&action);
+    }
+}
+BENCHMARK(BM_SymbolicApply);
+
+void
+BM_ChamferDistanceTransform(benchmark::State &state)
+{
+    OccupancyGrid2D map = makeRandomObstacleMap(256, 256, 0.1, 9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(distanceTransform(map));
+}
+BENCHMARK(BM_ChamferDistanceTransform);
+
+} // namespace

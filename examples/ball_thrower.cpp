@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Learning-control example (paper Figs. 17-19): the ball-throwing
+ * robot learns its throw two ways — cross-entropy search and Bayesian
+ * optimization — and the example compares their sample efficiency.
+ */
+
+#include <iostream>
+
+#include "control/ball_throw.h"
+#include "control/bayes_opt.h"
+#include "control/cem.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace rtr;
+
+    std::cout << "=== ball-throwing robot: CEM vs Bayesian "
+                 "optimization ===\n\n";
+
+    const double goal = 5.0;
+    BallThrowEnv env(goal);
+    auto reward = [&](const std::vector<double> &p) {
+        return env.evaluate(p);
+    };
+    std::cout << "task: land the ball " << goal
+              << " m from the robot; reward = -|landing - goal|\n\n";
+
+    // CEM: 5 iterations x 15 samples (the paper's configuration).
+    CemOptimizer cem{CemConfig{}};
+    Rng cem_rng(1);
+    CemResult cem_result = cem.optimize(reward, env.lowerBounds(),
+                                        env.upperBounds(), cem_rng);
+
+    // BO: 45 iterations (the paper's configuration), smaller candidate
+    // batches to keep the example quick.
+    BoConfig bo_config;
+    bo_config.candidates_per_iteration = 4000;
+    BayesOpt bo(bo_config);
+    Rng bo_rng(1);
+    BoResult bo_result = bo.optimize(reward, env.lowerBounds(),
+                                     env.upperBounds(), bo_rng);
+
+    Table table({"learner", "true evals", "best miss (m)",
+                 "landing (m)", "shoulder (rad)", "elbow (rad)",
+                 "speed (m/s)"});
+    table.addRow({"cem", std::to_string(cem_result.evaluations),
+                  Table::num(-cem_result.best_reward, 3),
+                  Table::num(env.landingPoint(cem_result.best_params), 2),
+                  Table::num(cem_result.best_params[0], 2),
+                  Table::num(cem_result.best_params[1], 2),
+                  Table::num(cem_result.best_params[2], 2)});
+    table.addRow({"bo", std::to_string(bo_result.reward_evals),
+                  Table::num(-bo_result.best_reward, 3),
+                  Table::num(env.landingPoint(bo_result.best_params), 2),
+                  Table::num(bo_result.best_params[0], 2),
+                  Table::num(bo_result.best_params[1], 2),
+                  Table::num(bo_result.best_params[2], 2)});
+    table.print();
+
+    // Reward trajectories (Figs. 18 and 19).
+    auto print_series = [](const std::string &label,
+                           const std::vector<double> &series) {
+        std::cout << label;
+        for (std::size_t i = 0; i < series.size();
+             i += std::max<std::size_t>(1, series.size() / 10))
+            std::cout << " " << Table::num(series[i], 2);
+        std::cout << "\n";
+    };
+    std::cout << "\n";
+    print_series("cem reward over samples (Fig. 18):",
+                 cem_result.reward_history);
+    print_series("bo reward over iterations (Fig. 19):",
+                 bo_result.reward_history);
+
+    std::cout << "\n(bo reaches a comparable miss with fewer true "
+                 "throws but far more internal computation — the "
+                 "trade-off the paper's §V.16 discusses)\n";
+    return 0;
+}

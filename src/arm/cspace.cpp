@@ -1,0 +1,75 @@
+#include "arm/cspace.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+ConfigSpace::ConfigSpace(std::size_t dof, double lo, double hi)
+    : dof_(dof), lo_(lo), hi_(hi)
+{
+    RTR_ASSERT(dof >= 1, "config space needs >= 1 dimension");
+    RTR_ASSERT(lo < hi, "joint limits must satisfy lo < hi");
+}
+
+ArmConfig
+ConfigSpace::sample(Rng &rng) const
+{
+    ArmConfig q(dof_);
+    for (double &angle : q)
+        angle = rng.uniform(lo_, hi_);
+    return q;
+}
+
+bool
+ConfigSpace::inBounds(const ArmConfig &q) const
+{
+    if (q.size() != dof_)
+        return false;
+    for (double angle : q) {
+        if (angle < lo_ || angle > hi_)
+            return false;
+    }
+    return true;
+}
+
+double
+ConfigSpace::distance(const ArmConfig &a, const ArmConfig &b)
+{
+    return std::sqrt(squaredDistance(a, b));
+}
+
+double
+ConfigSpace::squaredDistance(const ArmConfig &a, const ArmConfig &b)
+{
+    RTR_ASSERT(a.size() == b.size(), "config size mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double diff = a[i] - b[i];
+        sum += diff * diff;
+    }
+    return sum;
+}
+
+ArmConfig
+ConfigSpace::interpolate(const ArmConfig &a, const ArmConfig &b, double t)
+{
+    RTR_ASSERT(a.size() == b.size(), "config size mismatch");
+    ArmConfig q(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        q[i] = a[i] + (b[i] - a[i]) * t;
+    return q;
+}
+
+ArmConfig
+ConfigSpace::steer(const ArmConfig &from, const ArmConfig &to,
+                   double max_step)
+{
+    double dist = distance(from, to);
+    if (dist <= max_step)
+        return to;
+    return interpolate(from, to, max_step / dist);
+}
+
+} // namespace rtr

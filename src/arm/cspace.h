@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Joint-angle configuration space: sampling, distance, interpolation.
+ *
+ * The sampling-based planners (PRM/RRT family) operate on this space;
+ * its L2 distance is the "frequent L2-norm calculations" bottleneck the
+ * paper attributes to prm (§V.07).
+ */
+
+#ifndef RTR_ARM_CSPACE_H
+#define RTR_ARM_CSPACE_H
+
+#include <cstddef>
+
+#include "arm/planar_arm.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+/** Box-bounded joint-angle space. */
+class ConfigSpace
+{
+  public:
+    /**
+     * @param dof Dimensions.
+     * @param lo Lower joint limit (same for every joint).
+     * @param hi Upper joint limit.
+     */
+    ConfigSpace(std::size_t dof, double lo, double hi);
+
+    std::size_t dof() const { return dof_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /** Uniform random configuration within the limits. */
+    ArmConfig sample(Rng &rng) const;
+
+    /** Whether a configuration respects the joint limits. */
+    bool inBounds(const ArmConfig &q) const;
+
+    /** Euclidean (L2) distance between two configurations. */
+    static double distance(const ArmConfig &a, const ArmConfig &b);
+
+    /** Squared L2 distance (avoids the sqrt in hot loops). */
+    static double squaredDistance(const ArmConfig &a, const ArmConfig &b);
+
+    /** Linear interpolation at t in [0,1]. */
+    static ArmConfig interpolate(const ArmConfig &a, const ArmConfig &b,
+                                 double t);
+
+    /**
+     * Step from @p from towards @p to by at most @p max_step (L2 norm);
+     * returns @p to itself when it is closer than the step.
+     */
+    static ArmConfig steer(const ArmConfig &from, const ArmConfig &to,
+                           double max_step);
+
+  private:
+    std::size_t dof_;
+    double lo_;
+    double hi_;
+};
+
+} // namespace rtr
+
+#endif // RTR_ARM_CSPACE_H

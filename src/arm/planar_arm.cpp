@@ -1,0 +1,61 @@
+#include "arm/planar_arm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+PlanarArm::PlanarArm(Vec2 base, std::vector<double> link_lengths)
+    : base_(base), link_lengths_(std::move(link_lengths)), reach_(0.0)
+{
+    RTR_ASSERT(!link_lengths_.empty(), "arm needs >= 1 link");
+    for (double len : link_lengths_) {
+        RTR_ASSERT(len > 0.0, "link lengths must be positive");
+        reach_ += len;
+    }
+}
+
+PlanarArm
+PlanarArm::uniform(Vec2 base, std::size_t dof, double total_reach)
+{
+    RTR_ASSERT(dof >= 1, "arm needs >= 1 link");
+    return PlanarArm(base, std::vector<double>(
+                               dof, total_reach / static_cast<double>(dof)));
+}
+
+void
+PlanarArm::forwardKinematics(const ArmConfig &q,
+                             std::vector<Vec2> &joints_out) const
+{
+    RTR_ASSERT(q.size() == dof(), "config size ", q.size(), " != dof ",
+               dof());
+    joints_out.clear();
+    joints_out.reserve(dof() + 1);
+    joints_out.push_back(base_);
+
+    double heading = 0.0;
+    Vec2 pos = base_;
+    for (std::size_t i = 0; i < dof(); ++i) {
+        heading += q[i];
+        pos += Vec2{std::cos(heading), std::sin(heading)} *
+               link_lengths_[i];
+        joints_out.push_back(pos);
+    }
+}
+
+Vec2
+PlanarArm::endEffector(const ArmConfig &q) const
+{
+    RTR_ASSERT(q.size() == dof(), "config size mismatch");
+    double heading = 0.0;
+    Vec2 pos = base_;
+    for (std::size_t i = 0; i < dof(); ++i) {
+        heading += q[i];
+        pos += Vec2{std::cos(heading), std::sin(heading)} *
+               link_lengths_[i];
+    }
+    return pos;
+}
+
+} // namespace rtr

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Planar n-DoF arm manipulator kinematics.
+ *
+ * The robot model behind kernels 07-10 (prm, rrt, rrtstar, rrtpp): a
+ * chain of revolute joints in the plane, as in the paper's Fig. 8. A
+ * configuration is the vector of joint angles; planning happens in that
+ * joint-angle space.
+ */
+
+#ifndef RTR_ARM_PLANAR_ARM_H
+#define RTR_ARM_PLANAR_ARM_H
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace rtr {
+
+/** A joint-space configuration: one angle (radians) per joint. */
+using ArmConfig = std::vector<double>;
+
+/** Kinematic chain of revolute joints in the plane. */
+class PlanarArm
+{
+  public:
+    /**
+     * @param base World position of the arm's base joint.
+     * @param link_lengths One entry per link; defines the DoF count.
+     */
+    PlanarArm(Vec2 base, std::vector<double> link_lengths);
+
+    /** Convenience: n equal links summing to @p total_reach. */
+    static PlanarArm uniform(Vec2 base, std::size_t dof,
+                             double total_reach);
+
+    /** Degrees of freedom (= number of links). */
+    std::size_t dof() const { return link_lengths_.size(); }
+
+    /** Base position. */
+    Vec2 base() const { return base_; }
+
+    /** Link lengths. */
+    const std::vector<double> &linkLengths() const { return link_lengths_; }
+
+    /** Sum of link lengths (maximum reach). */
+    double reach() const { return reach_; }
+
+    /**
+     * Forward kinematics. Angles are relative to the previous link
+     * (angle 0 = continuing straight). Writes dof()+1 joint positions
+     * (base first, end-effector last) into @p joints_out, which is
+     * cleared first.
+     */
+    void forwardKinematics(const ArmConfig &q,
+                           std::vector<Vec2> &joints_out) const;
+
+    /** End-effector position only. */
+    Vec2 endEffector(const ArmConfig &q) const;
+
+  private:
+    Vec2 base_;
+    std::vector<double> link_lengths_;
+    double reach_;
+};
+
+} // namespace rtr
+
+#endif // RTR_ARM_PLANAR_ARM_H

@@ -1,0 +1,96 @@
+#include "control/ball_throw.h"
+
+#include <cmath>
+
+#include "geom/angle.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+BallThrowEnv::BallThrowEnv(double goal_distance)
+    : goal_distance_(goal_distance)
+{
+    RTR_ASSERT(goal_distance > 0.0, "goal must be in front of the robot");
+}
+
+double
+BallThrowEnv::landingPoint(const std::vector<double> &params) const
+{
+    RTR_ASSERT(params.size() == kParamCount, "expected ",
+               kParamCount, " parameters");
+    const double theta1 = params[0];
+    const double theta2 = params[1];
+    const double speed = params[2];
+
+    // Release position: forward kinematics of the two links from the
+    // shoulder.
+    double rx = l1_ * std::cos(theta1) +
+                l2_ * std::cos(theta1 + theta2);
+    double ry = shoulder_height_ + l1_ * std::sin(theta1) +
+                l2_ * std::sin(theta1 + theta2);
+
+    // Release velocity along the forearm direction.
+    double phi = theta1 + theta2;
+    double vx = speed * std::cos(phi);
+    double vy = speed * std::sin(phi);
+
+    if (ry <= 0.0)
+        return rx;  // released underground: lands where it is
+
+    // Projectile flight to y = 0.
+    double disc = vy * vy + 2.0 * gravity_ * ry;
+    double t_land = (vy + std::sqrt(disc)) / gravity_;
+    return rx + vx * t_land;
+}
+
+double
+BallThrowEnv::evaluate(const std::vector<double> &params) const
+{
+    return -std::abs(landingPoint(params) - goal_distance_);
+}
+
+std::array<double, 64>
+BallThrowEnv::flightTrace(const std::vector<double> &params) const
+{
+    RTR_ASSERT(params.size() == kParamCount, "expected ",
+               kParamCount, " parameters");
+    const double theta1 = params[0];
+    const double theta2 = params[1];
+    const double speed = params[2];
+
+    double rx = l1_ * std::cos(theta1) + l2_ * std::cos(theta1 + theta2);
+    double ry = shoulder_height_ + l1_ * std::sin(theta1) +
+                l2_ * std::sin(theta1 + theta2);
+    double phi = theta1 + theta2;
+    double vx = speed * std::cos(phi);
+    double vy = speed * std::sin(phi);
+
+    double t_land = 0.0;
+    if (ry > 0.0) {
+        double disc = vy * vy + 2.0 * gravity_ * ry;
+        t_land = (vy + std::sqrt(disc)) / gravity_;
+    }
+
+    std::array<double, 64> trace{};
+    for (int i = 0; i < 32; ++i) {
+        double t = t_land * static_cast<double>(i) / 31.0;
+        trace[static_cast<std::size_t>(2 * i)] = rx + vx * t;
+        trace[static_cast<std::size_t>(2 * i + 1)] =
+            ry + vy * t - 0.5 * gravity_ * t * t;
+    }
+    return trace;
+}
+
+std::vector<double>
+BallThrowEnv::lowerBounds() const
+{
+    return {-kPi / 2.0, -kPi / 2.0, 0.5};
+}
+
+std::vector<double>
+BallThrowEnv::upperBounds() const
+{
+    return {kPi / 2.0, kPi / 2.0, 12.0};
+}
+
+} // namespace rtr

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ball-throwing robot environment (kernels 15.cem / 16.bo).
+ *
+ * Replaces the paper's V-REP simulation with an analytic model that
+ * exercises the same learning loop: a 2-DoF arm (paper Fig. 17)
+ * releases a ball with a parameterized configuration and speed; the
+ * reward is how close the ball lands to the goal.
+ */
+
+#ifndef RTR_CONTROL_BALL_THROW_H
+#define RTR_CONTROL_BALL_THROW_H
+
+#include <array>
+#include <vector>
+
+namespace rtr {
+
+/** Analytic 2-DoF throwing environment. */
+class BallThrowEnv
+{
+  public:
+    /** Learnable parameters: shoulder angle, elbow angle, release speed. */
+    static constexpr std::size_t kParamCount = 3;
+
+    /**
+     * @param goal_distance Where (along x) the ball should land.
+     */
+    explicit BallThrowEnv(double goal_distance = 5.0);
+
+    /**
+     * Reward of a throw (higher is better): negative distance between
+     * the landing point and the goal.
+     */
+    double evaluate(const std::vector<double> &params) const;
+
+    /** Landing x-coordinate of a throw. */
+    double landingPoint(const std::vector<double> &params) const;
+
+    /**
+     * Sampled flight path of the ball: 32 (x, y) pairs from release to
+     * landing, packed into a fixed array (the episode trace a learner
+     * stores with each sample).
+     */
+    std::array<double, 64> flightTrace(
+        const std::vector<double> &params) const;
+
+    /** Lower parameter bounds (angles in radians, speed in m/s). */
+    std::vector<double> lowerBounds() const;
+
+    /** Upper parameter bounds. */
+    std::vector<double> upperBounds() const;
+
+    double goalDistance() const { return goal_distance_; }
+
+  private:
+    double goal_distance_;
+    double shoulder_height_ = 1.0;
+    double l1_ = 0.5;
+    double l2_ = 0.4;
+    double gravity_ = 9.81;
+};
+
+} // namespace rtr
+
+#endif // RTR_CONTROL_BALL_THROW_H

@@ -1,0 +1,103 @@
+#include "control/cem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+CemOptimizer::CemOptimizer(const CemConfig &config) : config_(config)
+{
+    RTR_ASSERT(config.elites >= 1 &&
+                   config.elites <= config.samples_per_iteration,
+               "elites must be in [1, samples_per_iteration]");
+}
+
+CemResult
+CemOptimizer::optimize(
+    const std::function<double(const std::vector<double> &)> &reward,
+    const std::vector<double> &lo, const std::vector<double> &hi, Rng &rng,
+    PhaseProfiler *profiler, const CemTraceFn &trace) const
+{
+    RTR_ASSERT(lo.size() == hi.size() && !lo.empty(),
+               "bad parameter bounds");
+    const std::size_t dims = lo.size();
+
+    CemResult result;
+    result.best_reward = -std::numeric_limits<double>::max();
+
+    // Initial Gaussian: centered in the box.
+    std::vector<double> mean(dims), stddev(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+        mean[d] = 0.5 * (lo[d] + hi[d]);
+        stddev[d] = config_.init_std_fraction * (hi[d] - lo[d]);
+    }
+
+    std::vector<CemSample> samples(
+        static_cast<std::size_t>(config_.samples_per_iteration));
+
+    for (int iter = 0; iter < config_.iterations; ++iter) {
+        {
+            ScopedPhase phase(profiler, "sample");
+            for (int s = 0; s < config_.samples_per_iteration; ++s) {
+                CemSample &sample = samples[static_cast<std::size_t>(s)];
+                sample.params.resize(dims);
+                for (std::size_t d = 0; d < dims; ++d) {
+                    double value = rng.normal(mean[d], stddev[d]);
+                    sample.params[d] = std::clamp(value, lo[d], hi[d]);
+                }
+                sample.iteration = iter;
+                sample.index = s;
+            }
+        }
+
+        {
+            ScopedPhase phase(profiler, "evaluate");
+            for (CemSample &sample : samples) {
+                sample.reward = reward(sample.params);
+                if (trace)
+                    sample.trace = trace(sample.params);
+                ++result.evaluations;
+                result.reward_history.push_back(sample.reward);
+                if (sample.reward > result.best_reward) {
+                    result.best_reward = sample.reward;
+                    result.best_params = sample.params;
+                }
+            }
+        }
+
+        {
+            // The paper's sort bottleneck: order the full sample
+            // records (parameters + metadata) by reward, descending.
+            ScopedPhase phase(profiler, "sort");
+            std::sort(samples.begin(), samples.end(),
+                      [](const CemSample &a, const CemSample &b) {
+                          return a.reward > b.reward;
+                      });
+        }
+
+        {
+            ScopedPhase phase(profiler, "refit");
+            const auto n_elite = static_cast<std::size_t>(config_.elites);
+            for (std::size_t d = 0; d < dims; ++d) {
+                double sum = 0.0;
+                for (std::size_t e = 0; e < n_elite; ++e)
+                    sum += samples[e].params[d];
+                double new_mean = sum / static_cast<double>(n_elite);
+                double var = 0.0;
+                for (std::size_t e = 0; e < n_elite; ++e) {
+                    double diff = samples[e].params[d] - new_mean;
+                    var += diff * diff;
+                }
+                mean[d] = new_mean;
+                stddev[d] = std::max(
+                    config_.min_std,
+                    std::sqrt(var / static_cast<double>(n_elite)));
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace rtr

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cross-Entropy Method optimizer (kernel 15.cem).
+ *
+ * Monte Carlo policy search: repeatedly sample parameter vectors from a
+ * Gaussian, collect rewards, sort, and refit the Gaussian to the elite
+ * fraction (paper §V.15: five iterations of fifteen samples; the sort —
+ * carrying each sample's full parameter vector and metadata — is the
+ * non-trivial bottleneck the paper calls out).
+ */
+
+#ifndef RTR_CONTROL_CEM_H
+#define RTR_CONTROL_CEM_H
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "util/profiler.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+/** CEM knobs (paper defaults: 5 iterations x 15 samples). */
+struct CemConfig
+{
+    /** Learning iterations. */
+    int iterations = 5;
+    /** Samples drawn per iteration. */
+    int samples_per_iteration = 15;
+    /** Elite samples kept for the refit. */
+    int elites = 4;
+    /** Initial stddev as a fraction of each bound's range. */
+    double init_std_fraction = 0.3;
+    /** Stddev floor to avoid premature collapse. */
+    double min_std = 1e-3;
+};
+
+/** One evaluated sample, as carried through the sort. */
+struct CemSample
+{
+    std::vector<double> params;
+    double reward = 0.0;
+    /** Metadata a learning system would carry (iteration, sample id). */
+    int iteration = 0;
+    int index = 0;
+    /**
+     * Inline episode trace (e.g. the ball's sampled flight path). Kept
+     * by-value so sorting samples moves real data, as in a learner that
+     * retains episode rollouts with each record.
+     */
+    std::array<double, 64> trace{};
+};
+
+/** Optional episode-trace generator attached to each sample. */
+using CemTraceFn = std::function<std::array<double, 64>(
+    const std::vector<double> &)>;
+
+/** CEM outcome. */
+struct CemResult
+{
+    /** Best parameters seen across all iterations. */
+    std::vector<double> best_params;
+    /** Their reward. */
+    double best_reward = 0.0;
+    /** Reward of every sample in draw order (paper Fig. 18 series). */
+    std::vector<double> reward_history;
+    /** Total reward-function evaluations. */
+    std::size_t evaluations = 0;
+};
+
+/** Cross-entropy optimizer over a box-bounded parameter space. */
+class CemOptimizer
+{
+  public:
+    explicit CemOptimizer(const CemConfig &config = {});
+
+    /**
+     * Maximize @p reward over [lo, hi]^n.
+     *
+     * Profiled phases: "sample", "evaluate", "sort", "refit".
+     */
+    CemResult optimize(const std::function<double(
+                           const std::vector<double> &)> &reward,
+                       const std::vector<double> &lo,
+                       const std::vector<double> &hi, Rng &rng,
+                       PhaseProfiler *profiler = nullptr,
+                       const CemTraceFn &trace = {}) const;
+
+  private:
+    CemConfig config_;
+};
+
+} // namespace rtr
+
+#endif // RTR_CONTROL_CEM_H

@@ -1,0 +1,193 @@
+#include "control/dmp.h"
+
+#include <cmath>
+
+#include "geom/angle.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+Dmp1D::Dmp1D(const DmpConfig &config) : config_(config)
+{
+    RTR_ASSERT(config.n_basis >= 2, "DMP needs >= 2 basis functions");
+    // Basis centers are spaced evenly in canonical time, i.e.
+    // exponentially in x; widths overlap adjacent centers.
+    centers_.resize(static_cast<std::size_t>(config.n_basis));
+    widths_.resize(static_cast<std::size_t>(config.n_basis));
+    for (int i = 0; i < config.n_basis; ++i) {
+        double t_frac = static_cast<double>(i) / (config.n_basis - 1);
+        centers_[static_cast<std::size_t>(i)] =
+            std::exp(-config.alpha_x * t_frac);
+    }
+    for (int i = 0; i < config.n_basis; ++i) {
+        double neighbor = i + 1 < config.n_basis
+                              ? centers_[static_cast<std::size_t>(i + 1)]
+                              : centers_[static_cast<std::size_t>(i)] * 0.5;
+        double delta = centers_[static_cast<std::size_t>(i)] - neighbor;
+        widths_[static_cast<std::size_t>(i)] = 1.0 / (delta * delta + 1e-9);
+    }
+    weights_.assign(static_cast<std::size_t>(config.n_basis), 0.0);
+}
+
+void
+Dmp1D::fit(const std::vector<double> &demo, double dt,
+           PhaseProfiler *profiler)
+{
+    ScopedPhase phase(profiler, "fit");
+    RTR_ASSERT(demo.size() >= 3, "demo needs >= 3 samples");
+    const std::size_t n = demo.size();
+    const double k = config_.spring_k;
+    const double d = 2.0 * std::sqrt(k);
+
+    y0_ = demo.front();
+    goal_ = demo.back();
+    tau_ = dt * static_cast<double>(n - 1);
+    double scale = goal_ - y0_;
+    if (std::abs(scale) < 1e-9)
+        scale = 1e-9;
+
+    // Finite-difference velocity/acceleration of the demonstration.
+    std::vector<double> vel(n, 0.0), acc(n, 0.0);
+    for (std::size_t t = 1; t + 1 < n; ++t)
+        vel[t] = (demo[t + 1] - demo[t - 1]) / (2.0 * dt);
+    vel[0] = (demo[1] - demo[0]) / dt;
+    vel[n - 1] = (demo[n - 1] - demo[n - 2]) / dt;
+    for (std::size_t t = 1; t + 1 < n; ++t)
+        acc[t] = (vel[t + 1] - vel[t - 1]) / (2.0 * dt);
+
+    // Target forcing term from inverting the transformation system:
+    //   tau^2 ydd = K (g - y) - D tau yd + (g - y0) f(x)
+    // Locally weighted regression per basis:
+    //   w_i = sum_t psi_i(x_t) x_t f_t / sum_t psi_i(x_t) x_t^2
+    std::vector<double> numerator(weights_.size(), 0.0);
+    std::vector<double> denominator(weights_.size(), 1e-10);
+    for (std::size_t t = 0; t < n; ++t) {
+        double time = dt * static_cast<double>(t);
+        double x = std::exp(-config_.alpha_x * time / tau_);
+        double f_target = (tau_ * tau_ * acc[t] - k * (goal_ - demo[t]) +
+                           d * tau_ * vel[t]) /
+                          scale;
+        for (std::size_t i = 0; i < weights_.size(); ++i) {
+            double diff = x - centers_[i];
+            double psi = std::exp(-widths_[i] * diff * diff);
+            numerator[i] += psi * x * f_target;
+            denominator[i] += psi * x * x;
+        }
+    }
+    for (std::size_t i = 0; i < weights_.size(); ++i)
+        weights_[i] = numerator[i] / denominator[i];
+    trained_ = true;
+}
+
+double
+Dmp1D::forcingTerm(double x) const
+{
+    double weighted = 0.0, total = 1e-10;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        double diff = x - centers_[i];
+        double psi = std::exp(-widths_[i] * diff * diff);
+        weighted += psi * weights_[i];
+        total += psi;
+    }
+    return weighted / total * x;
+}
+
+DmpTrajectory
+Dmp1D::rollout(int n_steps, double dt, PhaseProfiler *profiler) const
+{
+    return rollout(n_steps, dt, y0_, goal_, profiler);
+}
+
+DmpTrajectory
+Dmp1D::rollout(int n_steps, double dt, double start, double goal,
+               PhaseProfiler *profiler) const
+{
+    return rolloutScaled(n_steps, dt, start, goal, 1.0, profiler);
+}
+
+DmpTrajectory
+Dmp1D::rolloutScaled(int n_steps, double dt, double start, double goal,
+                     double time_scale, PhaseProfiler *profiler) const
+{
+    ScopedPhase phase(profiler, "rollout");
+    RTR_ASSERT(trained_, "rollout before fit()");
+    RTR_ASSERT(time_scale > 0.0, "time scale must be positive");
+    DmpTrajectory traj;
+    traj.position.reserve(static_cast<std::size_t>(n_steps));
+    traj.velocity.reserve(static_cast<std::size_t>(n_steps));
+    traj.acceleration.reserve(static_cast<std::size_t>(n_steps));
+
+    const double k = config_.spring_k;
+    const double d = 2.0 * std::sqrt(k);
+    const double scale = goal - start;
+    // Temporal scaling stretches the system clock: the same spatial
+    // trajectory unfolds over time_scale x the demonstrated duration.
+    const double tau = tau_ * time_scale;
+
+    // The integration is inherently serial: every step depends on the
+    // previous position, velocity, and canonical phase (the paper's
+    // IPC < 1 observation).
+    double y = start;
+    double v = 0.0;  // scaled velocity: v = tau * yd
+    double x = 1.0;
+    for (int step = 0; step < n_steps; ++step) {
+        double f = forcingTerm(x);
+        double vd = (k * (goal - y) - d * v + scale * f) / tau;
+        double yd = v / tau;
+        traj.position.push_back(y);
+        traj.velocity.push_back(yd);
+        traj.acceleration.push_back(vd / tau);
+        v += vd * dt;
+        y += yd * dt;
+        x += -config_.alpha_x * x / tau * dt;
+    }
+    return traj;
+}
+
+DmpND::DmpND(std::size_t dims, const DmpConfig &config)
+{
+    RTR_ASSERT(dims >= 1, "DMP needs >= 1 dimension");
+    dmps_.assign(dims, Dmp1D(config));
+}
+
+void
+DmpND::fit(const std::vector<std::vector<double>> &demo, double dt,
+           PhaseProfiler *profiler)
+{
+    RTR_ASSERT(demo.size() == dmps_.size(), "demo dimensionality mismatch");
+    for (std::size_t d = 0; d < dmps_.size(); ++d)
+        dmps_[d].fit(demo[d], dt, profiler);
+}
+
+std::vector<DmpTrajectory>
+DmpND::rollout(int n_steps, double dt, PhaseProfiler *profiler) const
+{
+    std::vector<DmpTrajectory> out;
+    out.reserve(dmps_.size());
+    for (const Dmp1D &dmp : dmps_)
+        out.push_back(dmp.rollout(n_steps, dt, profiler));
+    return out;
+}
+
+std::vector<std::vector<double>>
+makeDemoTrajectory(int n_samples, double dt)
+{
+    // A smooth S-curve with a velocity profile resembling the paper's
+    // Fig. 15 demonstration: forward motion with lateral oscillation.
+    std::vector<double> xs, ys;
+    xs.reserve(static_cast<std::size_t>(n_samples));
+    ys.reserve(static_cast<std::size_t>(n_samples));
+    double duration = dt * (n_samples - 1);
+    for (int i = 0; i < n_samples; ++i) {
+        double t = dt * i / duration;  // normalized [0, 1]
+        // Minimum-jerk-like forward progress.
+        double s = 10.0 * t * t * t - 15.0 * t * t * t * t +
+                   6.0 * t * t * t * t * t;
+        xs.push_back(15.0 * s);
+        ys.push_back(3.0 * std::sin(2.0 * kPi * t) * (1.0 - t) +
+                     8.0 * s * t);
+    }
+    return {xs, ys};
+}
+
+} // namespace rtr

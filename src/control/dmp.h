@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Dynamic Movement Primitives (kernel 13.dmp).
+ *
+ * A virtual spring-damper system shaped by Gaussian basis functions
+ * whose weights are acquired from a single demonstration (imitation
+ * learning + linear regression, paper §V.13). Rollout integrates the
+ * system step by step — the fine-grained serial dependency chain the
+ * paper identifies as the kernel's bottleneck.
+ */
+
+#ifndef RTR_CONTROL_DMP_H
+#define RTR_CONTROL_DMP_H
+
+#include <vector>
+
+#include "util/profiler.h"
+
+namespace rtr {
+
+/** DMP hyperparameters. */
+struct DmpConfig
+{
+    /** Number of Gaussian basis functions. */
+    int n_basis = 25;
+    /** Spring constant K; damping is critical (D = 2 sqrt(K)). */
+    double spring_k = 150.0;
+    /** Canonical system decay rate. */
+    double alpha_x = 4.0;
+};
+
+/** A rolled-out trajectory: position, velocity, acceleration series. */
+struct DmpTrajectory
+{
+    std::vector<double> position;
+    std::vector<double> velocity;
+    std::vector<double> acceleration;
+};
+
+/** One-dimensional DMP. */
+class Dmp1D
+{
+  public:
+    explicit Dmp1D(const DmpConfig &config = {});
+
+    /**
+     * Learn the forcing term from a demonstrated position series
+     * sampled at @p dt (locally weighted regression on the basis).
+     */
+    void fit(const std::vector<double> &demo, double dt,
+             PhaseProfiler *profiler = nullptr);
+
+    /**
+     * Roll the system out for @p n_steps of @p dt towards the trained
+     * goal, optionally from a new start/goal pair (DMPs generalize by
+     * shifting the spring attractor).
+     */
+    DmpTrajectory rollout(int n_steps, double dt,
+                          PhaseProfiler *profiler = nullptr) const;
+
+    /** Rollout with new endpoint conditions. */
+    DmpTrajectory rollout(int n_steps, double dt, double start,
+                          double goal,
+                          PhaseProfiler *profiler = nullptr) const;
+
+    /**
+     * Rollout with temporal scaling (the paper's reference [53]):
+     * time_scale > 1 executes the same spatial trajectory more slowly
+     * (velocities shrink by ~1/time_scale), < 1 faster.
+     */
+    DmpTrajectory rolloutScaled(int n_steps, double dt, double start,
+                                double goal, double time_scale,
+                                PhaseProfiler *profiler = nullptr) const;
+
+    /** Learned basis weights. */
+    const std::vector<double> &weights() const { return weights_; }
+
+    /** Demonstrated start / goal / duration. */
+    double demoStart() const { return y0_; }
+    double demoGoal() const { return goal_; }
+    double tau() const { return tau_; }
+
+  private:
+    double forcingTerm(double x) const;
+
+    DmpConfig config_;
+    std::vector<double> centers_;
+    std::vector<double> widths_;
+    std::vector<double> weights_;
+    double y0_ = 0.0;
+    double goal_ = 1.0;
+    double tau_ = 1.0;
+    bool trained_ = false;
+};
+
+/** Multi-dimensional DMP: one Dmp1D per output dimension. */
+class DmpND
+{
+  public:
+    /** @param dims Output dimensionality (e.g. 2 for planar motion). */
+    DmpND(std::size_t dims, const DmpConfig &config = {});
+
+    /** Fit every dimension from a demo (demo[d] is dimension d). */
+    void fit(const std::vector<std::vector<double>> &demo, double dt,
+             PhaseProfiler *profiler = nullptr);
+
+    /** Roll out every dimension. */
+    std::vector<DmpTrajectory> rollout(int n_steps, double dt,
+                                       PhaseProfiler *profiler =
+                                           nullptr) const;
+
+    std::size_t dims() const { return dmps_.size(); }
+
+    const Dmp1D &dimension(std::size_t d) const { return dmps_[d]; }
+
+  private:
+    std::vector<Dmp1D> dmps_;
+};
+
+/**
+ * Synthetic wheeled-robot demonstration (stands in for the paper's
+ * in-house demo data): a smooth planar S-curve sampled at dt, returned
+ * as {x series, y series}.
+ */
+std::vector<std::vector<double>> makeDemoTrajectory(int n_samples,
+                                                    double dt);
+
+} // namespace rtr
+
+#endif // RTR_CONTROL_DMP_H

@@ -1,0 +1,85 @@
+#include "control/gaussian_process.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+GaussianProcess::GaussianProcess(const GpConfig &config) : config_(config) {}
+
+double
+GaussianProcess::kernel(const std::vector<double> &a,
+                        const std::vector<double> &b) const
+{
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double diff = a[i] - b[i];
+        d2 += diff * diff;
+    }
+    return config_.signal_variance *
+           std::exp(-0.5 * d2 /
+                    (config_.length_scale * config_.length_scale));
+}
+
+void
+GaussianProcess::fit(const std::vector<std::vector<double>> &inputs,
+                     const std::vector<double> &targets,
+                     PhaseProfiler *profiler)
+{
+    ScopedPhase phase(profiler, "gp-fit");
+    RTR_ASSERT(inputs.size() == targets.size() && !inputs.empty(),
+               "GP fit needs matching, non-empty data");
+    inputs_ = inputs;
+    targets_ = targets;
+
+    const std::size_t n = inputs_.size();
+    target_mean_ = 0.0;
+    for (double t : targets_)
+        target_mean_ += t;
+    target_mean_ /= static_cast<double>(n);
+
+    Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            double v = kernel(inputs_[i], inputs_[j]);
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+        k(i, i) += config_.noise_variance;
+    }
+
+    chol_ = CholeskyDecomposition(k);
+    RTR_ASSERT(!chol_.failed(), "GP kernel matrix not positive-definite");
+
+    Matrix centered(n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+        centered(i, 0) = targets_[i] - target_mean_;
+    alpha_ = chol_.solve(centered);
+}
+
+GpPrediction
+GaussianProcess::predict(const std::vector<double> &query) const
+{
+    RTR_ASSERT(trained(), "predict before fit");
+    const std::size_t n = inputs_.size();
+
+    Matrix k_star(n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+        k_star(i, 0) = kernel(inputs_[i], query);
+
+    GpPrediction out;
+    out.mean = target_mean_;
+    for (std::size_t i = 0; i < n; ++i)
+        out.mean += k_star(i, 0) * alpha_(i, 0);
+
+    // Predictive variance: k(x,x) - k*^T K^-1 k*.
+    Matrix v = chol_.solve(k_star);
+    double reduction = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        reduction += k_star(i, 0) * v(i, 0);
+    out.variance = std::max(0.0, kernel(query, query) - reduction);
+    return out;
+}
+
+} // namespace rtr

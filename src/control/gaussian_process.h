@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Gaussian process regression (the BO kernel's surrogate model).
+ *
+ * Squared-exponential kernel, Cholesky-factored training, closed-form
+ * predictive mean/variance — "training and testing are done using a
+ * Gaussian process" (paper §V.16).
+ */
+
+#ifndef RTR_CONTROL_GAUSSIAN_PROCESS_H
+#define RTR_CONTROL_GAUSSIAN_PROCESS_H
+
+#include <vector>
+
+#include "linalg/decomp.h"
+#include "linalg/matrix.h"
+#include "util/profiler.h"
+
+namespace rtr {
+
+/** GP hyperparameters. */
+struct GpConfig
+{
+    /** Squared-exponential length scale. */
+    double length_scale = 1.0;
+    /** Signal variance (kernel amplitude). */
+    double signal_variance = 1.0;
+    /** Observation noise variance (also conditions the Cholesky). */
+    double noise_variance = 1e-4;
+};
+
+/** A predictive distribution at one query point. */
+struct GpPrediction
+{
+    double mean = 0.0;
+    double variance = 0.0;
+};
+
+/** GP regressor over R^d inputs. */
+class GaussianProcess
+{
+  public:
+    explicit GaussianProcess(const GpConfig &config = {});
+
+    /**
+     * Fit to observations (Cholesky of the kernel matrix). Replaces any
+     * previous data. Profiled as "gp-fit".
+     */
+    void fit(const std::vector<std::vector<double>> &inputs,
+             const std::vector<double> &targets,
+             PhaseProfiler *profiler = nullptr);
+
+    /** Predictive mean and variance at a query point. */
+    GpPrediction predict(const std::vector<double> &query) const;
+
+    /** Number of training points. */
+    std::size_t trainingSize() const { return inputs_.size(); }
+
+    /** Whether fit() has been called with data. */
+    bool trained() const { return !inputs_.empty(); }
+
+  private:
+    double kernel(const std::vector<double> &a,
+                  const std::vector<double> &b) const;
+
+    GpConfig config_;
+    std::vector<std::vector<double>> inputs_;
+    std::vector<double> targets_;
+    double target_mean_ = 0.0;
+    Matrix alpha_;  // K^-1 (y - mean)
+    CholeskyDecomposition chol_{Matrix::identity(1)};
+};
+
+} // namespace rtr
+
+#endif // RTR_CONTROL_GAUSSIAN_PROCESS_H

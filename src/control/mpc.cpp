@@ -1,0 +1,230 @@
+#include "control/mpc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angle.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+MpcController::MpcController(const MpcConfig &config) : config_(config)
+{
+    RTR_ASSERT(config.horizon >= 1, "horizon must be >= 1");
+    reset();
+}
+
+void
+MpcController::reset()
+{
+    warm_v_.assign(static_cast<std::size_t>(config_.horizon), 0.0);
+    warm_omega_.assign(static_cast<std::size_t>(config_.horizon), 0.0);
+}
+
+UnicycleState
+MpcController::step(const UnicycleState &state, double v, double omega,
+                    double dt)
+{
+    UnicycleState next;
+    next.x = state.x + v * dt * std::cos(state.theta);
+    next.y = state.y + v * dt * std::sin(state.theta);
+    next.theta = normalizeAngle(state.theta + omega * dt);
+    next.v = v;
+    return next;
+}
+
+double
+MpcController::rolloutCost(const UnicycleState &start,
+                           const std::vector<Vec2> &reference,
+                           const std::vector<double> &v,
+                           const std::vector<double> &omega) const
+{
+    double cost = 0.0;
+    UnicycleState state = start;
+    double prev_v = start.v;
+    for (std::size_t k = 0; k < v.size(); ++k) {
+        state = step(state, v[k], omega[k], config_.dt);
+        const Vec2 &ref = reference[std::min(k, reference.size() - 1)];
+        double dx = state.x - ref.x;
+        double dy = state.y - ref.y;
+        cost += config_.w_tracking * (dx * dx + dy * dy);
+        cost += config_.w_effort * (v[k] * v[k] + omega[k] * omega[k]);
+        double dv = v[k] - prev_v;
+        cost += config_.w_smooth * dv * dv;
+        // Soft acceleration-limit penalty (velocity/turn-rate limits
+        // are enforced by projection).
+        double acc = std::abs(dv) / config_.dt;
+        if (acc > config_.a_max)
+            cost += 50.0 * (acc - config_.a_max) * (acc - config_.a_max);
+        prev_v = v[k];
+    }
+    return cost;
+}
+
+MpcSolution
+MpcController::solve(const UnicycleState &current,
+                     const std::vector<Vec2> &reference,
+                     PhaseProfiler *profiler)
+{
+    ScopedPhase phase(profiler, "optimize");
+    RTR_ASSERT(!reference.empty(), "MPC needs a reference");
+    const auto h = static_cast<std::size_t>(config_.horizon);
+
+    MpcSolution solution;
+    // Warm start: shift the previous solution forward one step.
+    solution.v = warm_v_;
+    solution.omega = warm_omega_;
+    if (h > 1) {
+        std::rotate(solution.v.begin(), solution.v.begin() + 1,
+                    solution.v.end());
+        std::rotate(solution.omega.begin(), solution.omega.begin() + 1,
+                    solution.omega.end());
+    }
+
+    auto project = [&](std::vector<double> &v, std::vector<double> &omega) {
+        for (std::size_t k = 0; k < h; ++k) {
+            v[k] = std::clamp(v[k], 0.0, config_.v_max);
+            omega[k] = std::clamp(omega[k], -config_.omega_max,
+                                  config_.omega_max);
+        }
+    };
+    project(solution.v, solution.omega);
+
+    const double fd_eps = 1e-4;
+    std::vector<double> grad_v(h), grad_omega(h);
+    std::vector<double> trial_v(h), trial_omega(h);
+    double cost =
+        rolloutCost(current, reference, solution.v, solution.omega);
+    ++solution.cost_evals;
+    double step = config_.learning_rate;
+
+    for (int iter = 0; iter < config_.opt_iterations; ++iter) {
+        // Numerical gradient by central differences.
+        double grad_norm2 = 0.0;
+        for (std::size_t k = 0; k < h; ++k) {
+            double saved = solution.v[k];
+            solution.v[k] = saved + fd_eps;
+            double up = rolloutCost(current, reference, solution.v,
+                                    solution.omega);
+            solution.v[k] = saved - fd_eps;
+            double down = rolloutCost(current, reference, solution.v,
+                                      solution.omega);
+            solution.v[k] = saved;
+            grad_v[k] = (up - down) / (2.0 * fd_eps);
+
+            saved = solution.omega[k];
+            solution.omega[k] = saved + fd_eps;
+            up = rolloutCost(current, reference, solution.v,
+                             solution.omega);
+            solution.omega[k] = saved - fd_eps;
+            down = rolloutCost(current, reference, solution.v,
+                               solution.omega);
+            solution.omega[k] = saved;
+            grad_omega[k] = (up - down) / (2.0 * fd_eps);
+            solution.cost_evals += 4;
+            grad_norm2 += grad_v[k] * grad_v[k] +
+                          grad_omega[k] * grad_omega[k];
+        }
+        if (grad_norm2 < 1e-16)
+            break;
+        // Normalized descent direction + backtracking line search:
+        // robust regardless of the cost surface's scale.
+        double grad_norm = std::sqrt(grad_norm2);
+        bool improved = false;
+        for (int backtrack = 0; backtrack < 12; ++backtrack) {
+            for (std::size_t k = 0; k < h; ++k) {
+                trial_v[k] =
+                    solution.v[k] - step * grad_v[k] / grad_norm;
+                trial_omega[k] =
+                    solution.omega[k] - step * grad_omega[k] / grad_norm;
+            }
+            project(trial_v, trial_omega);
+            double trial_cost =
+                rolloutCost(current, reference, trial_v, trial_omega);
+            ++solution.cost_evals;
+            if (trial_cost < cost) {
+                solution.v = trial_v;
+                solution.omega = trial_omega;
+                cost = trial_cost;
+                step *= 1.5;
+                improved = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if (!improved)
+            break;
+    }
+
+    solution.cost = cost;
+    warm_v_ = solution.v;
+    warm_omega_ = solution.omega;
+    return solution;
+}
+
+TrackingResult
+trackTrajectory(MpcController &controller,
+                const std::vector<Vec2> &reference,
+                const UnicycleState &start, PhaseProfiler *profiler)
+{
+    TrackingResult result;
+    RTR_ASSERT(reference.size() >= 2, "reference needs >= 2 points");
+    controller.reset();
+
+    const auto h =
+        static_cast<std::size_t>(controller.config().horizon);
+    UnicycleState state = start;
+    result.states.push_back(state);
+
+    for (std::size_t step = 0; step + 1 < reference.size(); ++step) {
+        // Window of upcoming reference points for this solve.
+        std::vector<Vec2> window;
+        window.reserve(h);
+        for (std::size_t k = 0; k < h; ++k)
+            window.push_back(
+                reference[std::min(step + 1 + k, reference.size() - 1)]);
+
+        MpcSolution solution = controller.solve(state, window, profiler);
+        result.cost_evals += solution.cost_evals;
+
+        {
+            ScopedPhase phase(profiler, "simulate");
+            state = MpcController::step(state, solution.v[0],
+                                        solution.omega[0],
+                                        controller.config().dt);
+            result.states.push_back(state);
+        }
+
+        double dx = state.x - reference[step + 1].x;
+        double dy = state.y - reference[step + 1].y;
+        double err = std::sqrt(dx * dx + dy * dy);
+        result.avg_error += err;
+        result.max_error = std::max(result.max_error, err);
+        result.max_velocity = std::max(result.max_velocity, state.v);
+    }
+    result.avg_error /= static_cast<double>(reference.size() - 1);
+    return result;
+}
+
+std::vector<Vec2>
+makeReferenceTrajectory(int n_points, double spacing)
+{
+    // A long winding path: forward progress with two superimposed
+    // curvature frequencies.
+    std::vector<Vec2> path;
+    path.reserve(static_cast<std::size_t>(n_points));
+    // Curvature is kept within what a unicycle with omega_max ~1.5
+    // rad/s can follow at cruise speed.
+    double x = 0.0, y = 0.0, heading = 0.0;
+    for (int i = 0; i < n_points; ++i) {
+        double s = static_cast<double>(i) / n_points;
+        heading = 0.6 * std::sin(2.0 * kPi * s * 2.0) +
+                  0.25 * std::sin(2.0 * kPi * s * 5.0);
+        x += spacing * std::cos(heading);
+        y += spacing * std::sin(heading);
+        path.push_back(Vec2{x, y});
+    }
+    return path;
+}
+
+} // namespace rtr

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Axis-aligned bounding boxes in 2-D and 3-D.
+ */
+
+#ifndef RTR_GEOM_AABB_H
+#define RTR_GEOM_AABB_H
+
+#include <algorithm>
+
+#include "geom/vec2.h"
+#include "geom/vec3.h"
+
+namespace rtr {
+
+/** Axis-aligned rectangle given by min/max corners. */
+struct Aabb2
+{
+    Vec2 lo;
+    Vec2 hi;
+
+    /** Whether a point lies inside or on the boundary. */
+    constexpr bool
+    contains(const Vec2 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+    }
+
+    /** Whether two rectangles overlap (boundary contact counts). */
+    constexpr bool
+    overlaps(const Aabb2 &o) const
+    {
+        return lo.x <= o.hi.x && hi.x >= o.lo.x && lo.y <= o.hi.y &&
+               hi.y >= o.lo.y;
+    }
+
+    /** Rectangle center. */
+    constexpr Vec2 center() const { return (lo + hi) * 0.5; }
+
+    /** Width (x extent). */
+    constexpr double width() const { return hi.x - lo.x; }
+
+    /** Height (y extent). */
+    constexpr double height() const { return hi.y - lo.y; }
+};
+
+/** Axis-aligned box given by min/max corners. */
+struct Aabb3
+{
+    Vec3 lo;
+    Vec3 hi;
+
+    /** Whether a point lies inside or on the boundary. */
+    constexpr bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /** Box center. */
+    constexpr Vec3 center() const { return (lo + hi) * 0.5; }
+
+    /**
+     * Slab-test ray intersection.
+     *
+     * @param origin Ray origin.
+     * @param dir Ray direction (need not be normalized).
+     * @param t_out First nonnegative hit parameter (distance in units of
+     *              |dir|), set only on a hit.
+     * @return Whether the ray hits the box at t >= 0.
+     */
+    bool
+    intersectRay(const Vec3 &origin, const Vec3 &dir, double *t_out) const
+    {
+        double t_min = 0.0;
+        double t_max = 1e300;
+        const double o[3] = {origin.x, origin.y, origin.z};
+        const double d[3] = {dir.x, dir.y, dir.z};
+        const double l[3] = {lo.x, lo.y, lo.z};
+        const double h[3] = {hi.x, hi.y, hi.z};
+        for (int axis = 0; axis < 3; ++axis) {
+            if (d[axis] == 0.0) {
+                if (o[axis] < l[axis] || o[axis] > h[axis])
+                    return false;
+                continue;
+            }
+            double inv = 1.0 / d[axis];
+            double t0 = (l[axis] - o[axis]) * inv;
+            double t1 = (h[axis] - o[axis]) * inv;
+            if (t0 > t1)
+                std::swap(t0, t1);
+            t_min = std::max(t_min, t0);
+            t_max = std::min(t_max, t1);
+            if (t_min > t_max)
+                return false;
+        }
+        if (t_out)
+            *t_out = t_min;
+        return true;
+    }
+};
+
+} // namespace rtr
+
+#endif // RTR_GEOM_AABB_H

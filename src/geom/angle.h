@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Angle arithmetic helpers (radians everywhere).
+ */
+
+#ifndef RTR_GEOM_ANGLE_H
+#define RTR_GEOM_ANGLE_H
+
+#include <cmath>
+#include <numbers>
+
+namespace rtr {
+
+/** Pi as a double, spelled once. */
+inline constexpr double kPi = std::numbers::pi_v<double>;
+
+/** Two pi. */
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/** Degrees to radians. */
+constexpr double
+deg2rad(double deg)
+{
+    return deg * kPi / 180.0;
+}
+
+/** Radians to degrees. */
+constexpr double
+rad2deg(double rad)
+{
+    return rad * 180.0 / kPi;
+}
+
+/** Normalize an angle into (-pi, pi]. */
+inline double
+normalizeAngle(double angle)
+{
+    angle = std::fmod(angle, kTwoPi);
+    if (angle <= -kPi)
+        angle += kTwoPi;
+    else if (angle > kPi)
+        angle -= kTwoPi;
+    return angle;
+}
+
+/** Signed smallest difference a - b, normalized into (-pi, pi]. */
+inline double
+angleDiff(double a, double b)
+{
+    return normalizeAngle(a - b);
+}
+
+} // namespace rtr
+
+#endif // RTR_GEOM_ANGLE_H

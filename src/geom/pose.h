@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Planar robot pose (x, y, heading).
+ */
+
+#ifndef RTR_GEOM_POSE_H
+#define RTR_GEOM_POSE_H
+
+#include "geom/angle.h"
+#include "geom/vec2.h"
+
+namespace rtr {
+
+/** A 2-D pose: position plus heading angle in radians. */
+struct Pose2
+{
+    double x = 0.0;
+    double y = 0.0;
+    double theta = 0.0;
+
+    constexpr Pose2() = default;
+    constexpr Pose2(double x_, double y_, double theta_)
+        : x(x_), y(y_), theta(theta_)
+    {
+    }
+
+    /** Position component as a vector. */
+    constexpr Vec2 position() const { return {x, y}; }
+
+    /** Unit heading vector. */
+    Vec2 heading() const { return {std::cos(theta), std::sin(theta)}; }
+
+    /** Transform a point from this pose's local frame to the world frame. */
+    Vec2
+    transform(const Vec2 &local) const
+    {
+        return position() + local.rotated(theta);
+    }
+
+    /** Pose with the heading normalized into (-pi, pi]. */
+    Pose2
+    normalized() const
+    {
+        return {x, y, normalizeAngle(theta)};
+    }
+};
+
+} // namespace rtr
+
+#endif // RTR_GEOM_POSE_H

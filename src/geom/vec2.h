@@ -1,0 +1,75 @@
+/**
+ * @file
+ * 2-D double-precision vector.
+ */
+
+#ifndef RTR_GEOM_VEC2_H
+#define RTR_GEOM_VEC2_H
+
+#include <cmath>
+
+namespace rtr {
+
+/** A 2-D point/vector with the usual arithmetic. */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+    constexpr Vec2 operator-() const { return {-x, -y}; }
+
+    Vec2 &operator+=(const Vec2 &o) { x += o.x; y += o.y; return *this; }
+    Vec2 &operator-=(const Vec2 &o) { x -= o.x; y -= o.y; return *this; }
+    Vec2 &operator*=(double s) { x *= s; y *= s; return *this; }
+
+    constexpr bool operator==(const Vec2 &o) const = default;
+
+    /** Dot product. */
+    constexpr double dot(const Vec2 &o) const { return x * o.x + y * o.y; }
+
+    /** Scalar (z-component of the 3-D) cross product. */
+    constexpr double cross(const Vec2 &o) const { return x * o.y - y * o.x; }
+
+    /** Euclidean length. */
+    double norm() const { return std::sqrt(x * x + y * y); }
+
+    /** Squared Euclidean length. */
+    constexpr double squaredNorm() const { return x * x + y * y; }
+
+    /** Unit vector in this direction (undefined for the zero vector). */
+    Vec2
+    normalized() const
+    {
+        double n = norm();
+        return {x / n, y / n};
+    }
+
+    /** Vector rotated counter-clockwise by the given angle (radians). */
+    Vec2
+    rotated(double angle) const
+    {
+        double c = std::cos(angle), s = std::sin(angle);
+        return {c * x - s * y, s * x + c * y};
+    }
+
+    /** Euclidean distance to another point. */
+    double distanceTo(const Vec2 &o) const { return (*this - o).norm(); }
+};
+
+/** Scalar-on-the-left multiplication. */
+constexpr Vec2
+operator*(double s, const Vec2 &v)
+{
+    return v * s;
+}
+
+} // namespace rtr
+
+#endif // RTR_GEOM_VEC2_H

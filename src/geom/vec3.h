@@ -1,0 +1,86 @@
+/**
+ * @file
+ * 3-D double-precision vector.
+ */
+
+#ifndef RTR_GEOM_VEC3_H
+#define RTR_GEOM_VEC3_H
+
+#include <cmath>
+
+namespace rtr {
+
+/** A 3-D point/vector with the usual arithmetic. */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3
+    operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+
+    constexpr Vec3
+    operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &operator+=(const Vec3 &o) { x += o.x; y += o.y; z += o.z; return *this; }
+    Vec3 &operator-=(const Vec3 &o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    Vec3 &operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+    constexpr bool operator==(const Vec3 &o) const = default;
+
+    /** Dot product. */
+    constexpr double
+    dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    /** Cross product. */
+    constexpr Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    /** Euclidean length. */
+    double norm() const { return std::sqrt(squaredNorm()); }
+
+    /** Squared Euclidean length. */
+    constexpr double squaredNorm() const { return x * x + y * y + z * z; }
+
+    /** Unit vector in this direction (undefined for the zero vector). */
+    Vec3
+    normalized() const
+    {
+        double n = norm();
+        return {x / n, y / n, z / n};
+    }
+
+    /** Euclidean distance to another point. */
+    double distanceTo(const Vec3 &o) const { return (*this - o).norm(); }
+};
+
+/** Scalar-on-the-left multiplication. */
+constexpr Vec3
+operator*(double s, const Vec3 &v)
+{
+    return v * s;
+}
+
+} // namespace rtr
+
+#endif // RTR_GEOM_VEC3_H

@@ -1,0 +1,82 @@
+#include "grid/distance_transform.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rtr {
+
+std::vector<double>
+distanceTransform(const OccupancyGrid2D &grid)
+{
+    const int w = grid.width();
+    const int h = grid.height();
+    // Chamfer weights 3 (orthogonal) and 4 (diagonal) approximate
+    // Euclidean distance with < 8% error; normalize by 3 at the end.
+    const double kBig = std::numeric_limits<double>::max() / 4.0;
+    std::vector<double> dist(static_cast<std::size_t>(w) * h, kBig);
+
+    auto at = [&](int x, int y) -> double & {
+        return dist[static_cast<std::size_t>(y) * w + x];
+    };
+
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            if (grid.occupiedUnchecked(x, y))
+                at(x, y) = 0.0;
+        }
+    }
+
+    // Forward pass (bottom-left to top-right).
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            double &d = at(x, y);
+            if (x > 0)
+                d = std::min(d, at(x - 1, y) + 3.0);
+            if (y > 0) {
+                d = std::min(d, at(x, y - 1) + 3.0);
+                if (x > 0)
+                    d = std::min(d, at(x - 1, y - 1) + 4.0);
+                if (x + 1 < w)
+                    d = std::min(d, at(x + 1, y - 1) + 4.0);
+            }
+        }
+    }
+    // Backward pass.
+    for (int y = h - 1; y >= 0; --y) {
+        for (int x = w - 1; x >= 0; --x) {
+            double &d = at(x, y);
+            if (x + 1 < w)
+                d = std::min(d, at(x + 1, y) + 3.0);
+            if (y + 1 < h) {
+                d = std::min(d, at(x, y + 1) + 3.0);
+                if (x + 1 < w)
+                    d = std::min(d, at(x + 1, y + 1) + 4.0);
+                if (x > 0)
+                    d = std::min(d, at(x - 1, y + 1) + 4.0);
+            }
+        }
+    }
+
+    const double scale = grid.resolution() / 3.0;
+    for (double &d : dist)
+        d *= scale;
+    return dist;
+}
+
+OccupancyGrid2D
+inflate(const OccupancyGrid2D &grid, double radius)
+{
+    std::vector<double> dist = distanceTransform(grid);
+    OccupancyGrid2D out(grid.width(), grid.height(), grid.resolution(),
+                        grid.origin());
+    for (int y = 0; y < grid.height(); ++y) {
+        for (int x = 0; x < grid.width(); ++x) {
+            if (dist[static_cast<std::size_t>(y) * grid.width() + x] <=
+                radius)
+                out.setOccupied(x, y, true);
+        }
+    }
+    return out;
+}
+
+} // namespace rtr

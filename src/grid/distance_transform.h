@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Chamfer distance transform and obstacle inflation.
+ */
+
+#ifndef RTR_GRID_DISTANCE_TRANSFORM_H
+#define RTR_GRID_DISTANCE_TRANSFORM_H
+
+#include <vector>
+
+#include "grid/occupancy_grid2d.h"
+
+namespace rtr {
+
+/**
+ * Two-pass 3-4 chamfer distance transform. Returns, for every cell, the
+ * approximate distance (in world units) to the nearest occupied cell.
+ * Occupied cells map to 0.
+ */
+std::vector<double> distanceTransform(const OccupancyGrid2D &grid);
+
+/**
+ * A copy of the grid with every obstacle dilated by @p radius world
+ * units; planning for a disc robot on the inflated grid is equivalent to
+ * planning with its footprint on the original.
+ */
+OccupancyGrid2D inflate(const OccupancyGrid2D &grid, double radius);
+
+} // namespace rtr
+
+#endif // RTR_GRID_DISTANCE_TRANSFORM_H

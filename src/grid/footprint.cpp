@@ -1,0 +1,66 @@
+#include "grid/footprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+RectFootprint::RectFootprint(double length, double width)
+    : length_(length), width_(width)
+{
+    RTR_ASSERT(length > 0.0 && width > 0.0,
+               "footprint dimensions must be positive");
+}
+
+bool
+RectFootprint::collides(const OccupancyGrid2D &grid, const Pose2 &pose) const
+{
+    const double res = grid.resolution();
+    const double half_l = length_ * 0.5;
+    const double half_w = width_ * 0.5;
+    // Pad by half the cell diagonal: a cell whose center is just outside
+    // the rectangle can still overlap it.
+    const double pad = res * 0.5 * std::numbers::sqrt2_v<double>;
+
+    const double cos_t = std::cos(pose.theta);
+    const double sin_t = std::sin(pose.theta);
+
+    // Axis-aligned bounding box of the oriented rectangle.
+    const double ext_x = std::abs(cos_t) * half_l + std::abs(sin_t) * half_w;
+    const double ext_y = std::abs(sin_t) * half_l + std::abs(cos_t) * half_w;
+
+    Cell2 lo = grid.worldToCell({pose.x - ext_x - res, pose.y - ext_y - res});
+    Cell2 hi = grid.worldToCell({pose.x + ext_x + res, pose.y + ext_y + res});
+
+    std::size_t checked = 0;
+    for (int cy = lo.y; cy <= hi.y; ++cy) {
+        for (int cx = lo.x; cx <= hi.x; ++cx) {
+            Vec2 center = grid.cellCenter({cx, cy});
+            // Project the cell center into the footprint frame.
+            double dx = center.x - pose.x;
+            double dy = center.y - pose.y;
+            double local_l = dx * cos_t + dy * sin_t;
+            double local_w = -dx * sin_t + dy * cos_t;
+            if (std::abs(local_l) > half_l + pad ||
+                std::abs(local_w) > half_w + pad)
+                continue;
+            ++checked;
+            if (grid.occupied(cx, cy)) {
+                last_cells_checked_ = checked;
+                return true;
+            }
+        }
+    }
+    last_cells_checked_ = checked;
+    return false;
+}
+
+bool
+pointCollides(const OccupancyGrid2D &grid, const Vec2 &p)
+{
+    return grid.occupiedWorld(p);
+}
+
+} // namespace rtr

@@ -1,0 +1,385 @@
+#include "grid/map_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+namespace {
+
+/** Fill a solid rectangle of cells. */
+void
+fillRect(OccupancyGrid2D &grid, int x0, int y0, int x1, int y1,
+         bool value = true)
+{
+    for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x)
+            grid.setOccupied(x, y, value);
+    }
+}
+
+/** Draw a 1-cell-thick rectangle outline. */
+void
+outlineRect(OccupancyGrid2D &grid, int x0, int y0, int x1, int y1)
+{
+    for (int x = x0; x <= x1; ++x) {
+        grid.setOccupied(x, y0, true);
+        grid.setOccupied(x, y1, true);
+    }
+    for (int y = y0; y <= y1; ++y) {
+        grid.setOccupied(x0, y, true);
+        grid.setOccupied(x1, y, true);
+    }
+}
+
+} // namespace
+
+OccupancyGrid2D
+makeIndoorMap(int width, int height, double resolution, std::uint64_t seed)
+{
+    RTR_ASSERT(width >= 40 && height >= 40, "indoor map too small");
+    OccupancyGrid2D grid(width, height, resolution);
+    Rng rng(seed);
+
+    outlineRect(grid, 0, 0, width - 1, height - 1);
+
+    // Central horizontal corridor spine.
+    const int corridor_half = std::max(2, height / 20);
+    const int corridor_lo = height / 2 - corridor_half;
+    const int corridor_hi = height / 2 + corridor_half;
+
+    // Rooms along each side of the corridor. The two sides progress
+    // independently (misaligned walls) and room geometry varies, so the
+    // building is not translationally self-similar — a real floor plan
+    // property global localization depends on.
+    auto build_side = [&](bool lower) {
+        int wall_y = lower ? corridor_lo : corridor_hi;
+        int room_lo_y = lower ? 1 : corridor_hi + 1;
+        int room_hi_y = lower ? corridor_lo - 1 : height - 2;
+        int x = 1;
+        while (x < width - 8) {
+            int room_w = static_cast<int>(rng.intRange(7, 26));
+            int room_end = std::min(x + room_w, width - 2);
+            // Variable room depth: an inner back wall.
+            int depth =
+                static_cast<int>(rng.intRange(4, std::max<std::int64_t>(
+                                                     5, room_hi_y -
+                                                            room_lo_y)));
+            int back_y = lower ? std::max(room_lo_y, wall_y - depth)
+                               : std::min(room_hi_y, wall_y + depth);
+            for (int cx = x; cx <= room_end; ++cx)
+                grid.setOccupied(cx, back_y, true);
+
+            // Wall between this room and the next.
+            for (int y = room_lo_y; y <= room_hi_y; ++y)
+                grid.setOccupied(room_end, y, true);
+
+            // Wall along the corridor with a door gap of varying width.
+            int door = x + static_cast<int>(
+                               rng.intRange(2, std::max<std::int64_t>(
+                                                   3, room_w - 3)));
+            door = std::min(door, room_end - 1);
+            int door_half = rng.chance(0.3) ? 2 : 1;
+            for (int cx = x; cx <= room_end; ++cx) {
+                if (std::abs(cx - door) <= door_half)
+                    continue;
+                grid.setOccupied(cx, wall_y, true);
+            }
+
+            // Occasional pillar clutter inside the room.
+            if (rng.chance(0.5)) {
+                int px = x + 1 +
+                         static_cast<int>(rng.index(std::max(
+                             1, room_end - x - 2)));
+                int py = std::min(room_lo_y, room_hi_y) + 1 +
+                         static_cast<int>(rng.index(std::max(
+                             1, std::abs(room_hi_y - room_lo_y) - 2)));
+                fillRect(grid, px, py, px + 1, py + 1);
+            }
+            x = room_end + 1;
+        }
+    };
+    build_side(true);
+    build_side(false);
+
+    // A few cross corridors punching through the room banks, placed
+    // irregularly — strong global landmarks.
+    int n_cross = std::max(2, width / 80);
+    for (int c = 0; c < n_cross; ++c) {
+        int cx = static_cast<int>(
+            rng.intRange(width / 8, width - width / 8));
+        int half = std::max(1, height / 50);
+        fillRect(grid, cx - half, 1, cx + half, height - 2, false);
+        // Keep the outer walls intact.
+        for (int dx = -half; dx <= half; ++dx) {
+            grid.setOccupied(cx + dx, 0, true);
+            grid.setOccupied(cx + dx, height - 1, true);
+        }
+    }
+    return grid;
+}
+
+OccupancyGrid2D
+makeCityMap(int size, double resolution, std::uint64_t seed)
+{
+    RTR_ASSERT(size >= 64, "city map too small");
+    OccupancyGrid2D grid(size, size, resolution);
+    Rng rng(seed);
+
+    // Street grid: free lanes at randomized intervals; buildings fill
+    // the blocks with random insets so facades are irregular like a real
+    // city snapshot.
+    std::vector<int> x_streets{0};
+    int pos = 0;
+    while (pos < size) {
+        pos += static_cast<int>(rng.intRange(24, 48));
+        if (pos < size)
+            x_streets.push_back(pos);
+    }
+    std::vector<int> y_streets{0};
+    pos = 0;
+    while (pos < size) {
+        pos += static_cast<int>(rng.intRange(24, 48));
+        if (pos < size)
+            y_streets.push_back(pos);
+    }
+    // Streets are ~4 m wide in world units regardless of grid size, so
+    // a car-sized footprint always fits.
+    const int street_w =
+        std::max(4, static_cast<int>(std::ceil(4.0 / resolution)));
+
+    for (std::size_t bi = 0; bi + 1 <= x_streets.size(); ++bi) {
+        int bx0 = x_streets[bi] + street_w;
+        int bx1 = (bi + 1 < x_streets.size() ? x_streets[bi + 1]
+                                             : size) - 1;
+        if (bx0 >= bx1)
+            continue;
+        for (std::size_t bj = 0; bj + 1 <= y_streets.size(); ++bj) {
+            int by0 = y_streets[bj] + street_w;
+            int by1 = (bj + 1 < y_streets.size() ? y_streets[bj + 1]
+                                                 : size) - 1;
+            if (by0 >= by1)
+                continue;
+            if (rng.chance(0.1))
+                continue;  // park / plaza: leave the block open
+            // Between one and four buildings per block with insets.
+            int n_buildings = static_cast<int>(rng.intRange(1, 4));
+            for (int b = 0; b < n_buildings; ++b) {
+                int w = bx1 - bx0, h = by1 - by0;
+                if (w < 6 || h < 6)
+                    break;
+                int ox = bx0 + static_cast<int>(rng.index(std::max(1, w / 2)));
+                int oy = by0 + static_cast<int>(rng.index(std::max(1, h / 2)));
+                int bw = static_cast<int>(rng.intRange(4, std::max<std::int64_t>(5, w - 2)));
+                int bh = static_cast<int>(rng.intRange(4, std::max<std::int64_t>(5, h - 2)));
+                fillRect(grid, ox, oy, std::min(ox + bw, bx1),
+                         std::min(oy + bh, by1));
+            }
+        }
+    }
+    return grid;
+}
+
+OccupancyGrid2D
+makePRobMap(int scale)
+{
+    RTR_ASSERT(scale >= 1, "scale must be >= 1");
+    // Native environment: coordinates -10..60 (71 cells at 1m), border
+    // walls, one wall at x=20 rising from the bottom to y=40, another at
+    // x=40 descending from the top to y=20 (the classic a_star.py demo).
+    const int n = 71;
+    OccupancyGrid2D base(n, n, 1.0, Vec2{-10.0, -10.0});
+    for (int i = 0; i < n; ++i) {
+        base.setOccupied(i, 0, true);
+        base.setOccupied(i, n - 1, true);
+        base.setOccupied(0, i, true);
+        base.setOccupied(n - 1, i, true);
+    }
+    for (int y = 0; y <= 50; ++y)          // world y in -10..40
+        base.setOccupied(30, y, true);     // world x = 20
+    for (int y = 30; y < n; ++y)           // world y in 20..60
+        base.setOccupied(50, y, true);     // world x = 40
+    if (scale == 1)
+        return base;
+    return scaleMap(base, scale);
+}
+
+OccupancyGrid2D
+makeRandomObstacleMap(int width, int height, double density,
+                      std::uint64_t seed)
+{
+    OccupancyGrid2D grid(width, height, 1.0);
+    Rng rng(seed);
+    outlineRect(grid, 0, 0, width - 1, height - 1);
+
+    double target = density * width * height;
+    double placed = 0;
+    while (placed < target) {
+        int w = static_cast<int>(rng.intRange(1, std::max(2, width / 16)));
+        int h = static_cast<int>(rng.intRange(1, std::max(2, height / 16)));
+        int x = static_cast<int>(rng.index(std::max(1, width - w)));
+        int y = static_cast<int>(rng.index(std::max(1, height - h)));
+        fillRect(grid, x, y, x + w - 1, y + h - 1);
+        placed += w * h;
+    }
+    return grid;
+}
+
+OccupancyGrid2D
+scaleMap(const OccupancyGrid2D &grid, int factor)
+{
+    RTR_ASSERT(factor >= 1, "scale factor must be >= 1");
+    OccupancyGrid2D out(grid.width() * factor, grid.height() * factor,
+                        grid.resolution() / factor, grid.origin());
+    for (int y = 0; y < grid.height(); ++y) {
+        for (int x = 0; x < grid.width(); ++x) {
+            if (!grid.occupiedUnchecked(x, y))
+                continue;
+            for (int dy = 0; dy < factor; ++dy) {
+                for (int dx = 0; dx < factor; ++dx)
+                    out.setOccupied(x * factor + dx, y * factor + dy, true);
+            }
+        }
+    }
+    return out;
+}
+
+OccupancyGrid3D
+makeCampus3D(int width, int height, int depth, double resolution,
+             std::uint64_t seed)
+{
+    RTR_ASSERT(width >= 32 && height >= 32 && depth >= 8,
+               "campus volume too small");
+    OccupancyGrid3D grid(width, height, depth, resolution);
+    Rng rng(seed);
+
+    // Ground plane.
+    grid.fillBox({0, 0, 0}, {width - 1, height - 1, 0});
+
+    // Buildings: boxes of varying footprint and height.
+    int n_buildings = std::max(6, width * height / 600);
+    std::vector<Cell3> roofs;
+    for (int b = 0; b < n_buildings; ++b) {
+        int w = static_cast<int>(rng.intRange(6, std::max<std::int64_t>(7, width / 6)));
+        int h = static_cast<int>(rng.intRange(6, std::max<std::int64_t>(7, height / 6)));
+        int z = static_cast<int>(rng.intRange(depth / 4, depth - 2));
+        int x = static_cast<int>(rng.index(std::max(1, width - w)));
+        int y = static_cast<int>(rng.index(std::max(1, height - h)));
+        grid.fillBox({x, y, 1}, {x + w - 1, y + h - 1, z});
+        roofs.push_back({x + w / 2, y + h / 2, z});
+    }
+
+    // Trees: trunk columns with a canopy box near the top.
+    int n_trees = std::max(10, width * height / 300);
+    for (int t = 0; t < n_trees; ++t) {
+        int x = static_cast<int>(rng.index(width));
+        int y = static_cast<int>(rng.index(height));
+        int top = static_cast<int>(rng.intRange(2, std::max<std::int64_t>(3, depth / 3)));
+        grid.fillBox({x, y, 1}, {x, y, top});
+        grid.fillBox({x - 1, y - 1, top - 1}, {x + 1, y + 1, top});
+    }
+
+    // Elevated walkways between building roofs: bars at height that
+    // leave free space underneath (the underpasses that make 3-D search
+    // interesting).
+    for (std::size_t i = 0; i + 1 < roofs.size() && i < 4; ++i) {
+        const Cell3 &a = roofs[i];
+        const Cell3 &b = roofs[i + 1];
+        int z = std::min({a.z, b.z, depth - 2});
+        int x0 = std::min(a.x, b.x), x1 = std::max(a.x, b.x);
+        grid.fillBox({x0, a.y, z}, {x1, a.y + 1, z});
+        int y0 = std::min(a.y, b.y), y1 = std::max(a.y, b.y);
+        grid.fillBox({b.x, y0, z}, {b.x + 1, y1, z});
+    }
+    return grid;
+}
+
+CostGrid2D::CostGrid2D(int width, int height, double initial)
+    : width_(width),
+      height_(height),
+      cost_(static_cast<std::size_t>(width) * height, initial)
+{
+    RTR_ASSERT(width > 0 && height > 0, "cost grid dims must be positive");
+}
+
+void
+CostGrid2D::set(int x, int y, double c)
+{
+    RTR_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_,
+               "cost grid index out of bounds");
+    cost_[static_cast<std::size_t>(y) * width_ + x] = c;
+}
+
+CostGrid2D
+makeCostField(int width, int height, std::uint64_t seed, double min_cost,
+              double max_cost, double obstacle_density)
+{
+    CostGrid2D field(width, height, min_cost);
+    Rng rng(seed);
+
+    // Value noise: random lattice values, bilinear interpolation, three
+    // octaves.
+    auto lattice_noise = [&](int cells) {
+        std::vector<double> lattice(static_cast<std::size_t>(cells + 2) *
+                                    (cells + 2));
+        for (double &v : lattice)
+            v = rng.uniform();
+        return lattice;
+    };
+
+    struct Octave
+    {
+        int cells;
+        double weight;
+        std::vector<double> lattice;
+    };
+    std::vector<Octave> octaves;
+    for (int cells : {4, 8, 16})
+        octaves.push_back({cells, 1.0 / cells * 4.0, lattice_noise(cells)});
+
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            double noise = 0.0, total_w = 0.0;
+            for (const Octave &oct : octaves) {
+                double fx = static_cast<double>(x) / width * oct.cells;
+                double fy = static_cast<double>(y) / height * oct.cells;
+                int ix = static_cast<int>(fx), iy = static_cast<int>(fy);
+                double tx = fx - ix, ty = fy - iy;
+                auto at = [&](int lx, int ly) {
+                    return oct.lattice[static_cast<std::size_t>(ly) *
+                                           (oct.cells + 2) +
+                                       lx];
+                };
+                double v = at(ix, iy) * (1 - tx) * (1 - ty) +
+                           at(ix + 1, iy) * tx * (1 - ty) +
+                           at(ix, iy + 1) * (1 - tx) * ty +
+                           at(ix + 1, iy + 1) * tx * ty;
+                noise += v * oct.weight;
+                total_w += oct.weight;
+            }
+            noise /= total_w;
+            field.set(x, y, min_cost + noise * (max_cost - min_cost));
+        }
+    }
+
+    // Impassable blocks.
+    double target = obstacle_density * width * height;
+    double placed = 0;
+    while (placed < target) {
+        int w = static_cast<int>(rng.intRange(2, std::max(3, width / 12)));
+        int h = static_cast<int>(rng.intRange(2, std::max(3, height / 12)));
+        int x0 = static_cast<int>(rng.index(std::max(1, width - w)));
+        int y0 = static_cast<int>(rng.index(std::max(1, height - h)));
+        for (int y = y0; y < y0 + h; ++y) {
+            for (int x = x0; x < x0 + w; ++x)
+                field.set(x, y, CostGrid2D::kImpassable);
+        }
+        placed += w * h;
+    }
+    return field;
+}
+
+} // namespace rtr

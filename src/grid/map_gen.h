@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deterministic synthetic environment generators.
+ *
+ * These stand in for the datasets the paper evaluates on but that are not
+ * redistributable here (CMU Wean Hall for pfl, Moving AI Boston_1_1024
+ * for pp2d, the Freiburg campus scan for pp3d). Each generator is seeded
+ * and produces obstacle statistics of the same class as the original
+ * (see DESIGN.md, "Substitutions").
+ */
+
+#ifndef RTR_GRID_MAP_GEN_H
+#define RTR_GRID_MAP_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/occupancy_grid2d.h"
+#include "grid/occupancy_grid3d.h"
+
+namespace rtr {
+
+/**
+ * Indoor building map: perimeter walls, a central corridor spine, rooms
+ * with door gaps, and occasional pillars. Stands in for the Wean Hall
+ * floor plan used by 01.pfl.
+ */
+OccupancyGrid2D makeIndoorMap(int width, int height, double resolution,
+                              std::uint64_t seed);
+
+/**
+ * City map: a street grid with buildings of randomized footprints
+ * filling the blocks. Stands in for Boston_1_1024 used by 04.pp2d.
+ */
+OccupancyGrid2D makeCityMap(int size, double resolution, std::uint64_t seed);
+
+/**
+ * The PythonRobotics a_star.py demo environment (Fig. 21-(a)): a square
+ * boundary with two interior walls. @p scale refines the resolution by
+ * an integer factor, exactly like the paper's Fig. 21 scaling study.
+ */
+OccupancyGrid2D makePRobMap(int scale = 1);
+
+/** Uniformly scattered rectangular obstacles (for property tests). */
+OccupancyGrid2D makeRandomObstacleMap(int width, int height, double density,
+                                      std::uint64_t seed);
+
+/** Upsample a grid by an integer factor (each cell becomes factor^2). */
+OccupancyGrid2D scaleMap(const OccupancyGrid2D &grid, int factor);
+
+/**
+ * Outdoor campus volume: buildings of varying heights, tree columns with
+ * canopies, and elevated walkways that create underpasses. Stands in for
+ * the fr_campus scan used by 05.pp3d.
+ */
+OccupancyGrid3D makeCampus3D(int width, int height, int depth,
+                             double resolution, std::uint64_t seed);
+
+/**
+ * Scalar traversal-cost field over a grid (for 06.movtar, Fig. 7: "every
+ * location in the environment has a particular cost for the robot").
+ */
+class CostGrid2D
+{
+  public:
+    /** Uniform-cost field of the given dimensions. */
+    CostGrid2D(int width, int height, double initial = 1.0);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** Traversal cost of a cell; out-of-bounds cells are impassable. */
+    double
+    cost(int x, int y) const
+    {
+        if (x < 0 || x >= width_ || y < 0 || y >= height_)
+            return kImpassable;
+        return cost_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    /** Set a cell's traversal cost. */
+    void set(int x, int y, double c);
+
+    /** Whether a cell can be traversed at all. */
+    bool
+    passable(int x, int y) const
+    {
+        return cost(x, y) < kImpassable;
+    }
+
+    /** Sentinel cost marking an impassable cell. */
+    static constexpr double kImpassable = 1e18;
+
+  private:
+    int width_;
+    int height_;
+    std::vector<double> cost_;
+};
+
+/**
+ * Smooth multi-octave value-noise cost field in [min_cost, max_cost] with
+ * a sprinkling of impassable obstacle blocks.
+ */
+CostGrid2D makeCostField(int width, int height, std::uint64_t seed,
+                         double min_cost = 1.0, double max_cost = 10.0,
+                         double obstacle_density = 0.05);
+
+} // namespace rtr
+
+#endif // RTR_GRID_MAP_GEN_H

@@ -1,0 +1,95 @@
+#include "grid/map_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+namespace {
+
+bool
+isPassable(char c)
+{
+    return c == '.' || c == 'G' || c == 'S';
+}
+
+} // namespace
+
+OccupancyGrid2D
+loadMovingAiMap(std::istream &in, double resolution)
+{
+    std::string keyword;
+    std::string type_value;
+    int width = -1, height = -1;
+
+    // Header: "type X", "height H", "width W" in any order, then "map".
+    while (in >> keyword) {
+        if (keyword == "type") {
+            in >> type_value;
+        } else if (keyword == "height") {
+            in >> height;
+        } else if (keyword == "width") {
+            in >> width;
+        } else if (keyword == "map") {
+            break;
+        } else {
+            fatal("unexpected token '", keyword, "' in map header");
+        }
+    }
+    if (width <= 0 || height <= 0)
+        fatal("map header missing valid width/height");
+    in.ignore();  // consume newline after "map"
+
+    OccupancyGrid2D grid(width, height, resolution);
+    std::string line;
+    // Moving AI rows run top-to-bottom; store row 0 of the file as the
+    // highest y so world coordinates keep y-up semantics.
+    for (int row = 0; row < height; ++row) {
+        if (!std::getline(in, line))
+            fatal("map body truncated at row ", row);
+        if (static_cast<int>(line.size()) < width)
+            fatal("map row ", row, " shorter than declared width");
+        int y = height - 1 - row;
+        for (int x = 0; x < width; ++x)
+            grid.setOccupied(x, y, !isPassable(line[static_cast<size_t>(x)]));
+    }
+    return grid;
+}
+
+OccupancyGrid2D
+loadMovingAiMapFile(const std::string &path, double resolution)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open map file '", path, "'");
+    return loadMovingAiMap(in, resolution);
+}
+
+void
+saveMovingAiMap(const OccupancyGrid2D &grid, std::ostream &out)
+{
+    out << "type octile\n";
+    out << "height " << grid.height() << "\n";
+    out << "width " << grid.width() << "\n";
+    out << "map\n";
+    for (int row = 0; row < grid.height(); ++row) {
+        int y = grid.height() - 1 - row;
+        for (int x = 0; x < grid.width(); ++x)
+            out << (grid.occupied(x, y) ? '@' : '.');
+        out << "\n";
+    }
+}
+
+void
+saveMovingAiMapFile(const OccupancyGrid2D &grid, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write map file '", path, "'");
+    saveMovingAiMap(grid, out);
+}
+
+} // namespace rtr

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Moving AI Lab `.map` format reader/writer.
+ *
+ * The paper's pp2d kernel plans on `Boston_1_1024` from the Moving AI
+ * pathfinding benchmark set. This module parses that format so the real
+ * file drops in unchanged; the synthetic city generator (map_gen.h)
+ * provides the stand-in when it is absent.
+ *
+ * Format:
+ *   type octile
+ *   height <H>
+ *   width <W>
+ *   map
+ *   <H rows of W characters>
+ *
+ * Passable characters: '.', 'G', 'S'. Everything else ('@', 'O', 'T',
+ * 'W', ...) is treated as an obstacle.
+ */
+
+#ifndef RTR_GRID_MAP_IO_H
+#define RTR_GRID_MAP_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/occupancy_grid2d.h"
+
+namespace rtr {
+
+/** Parse a Moving AI map from a stream; fatal() on malformed input. */
+OccupancyGrid2D loadMovingAiMap(std::istream &in, double resolution = 1.0);
+
+/** Parse a Moving AI map from a file path; fatal() if unreadable. */
+OccupancyGrid2D loadMovingAiMapFile(const std::string &path,
+                                    double resolution = 1.0);
+
+/** Serialize a grid in Moving AI format ('.' free, '@' occupied). */
+void saveMovingAiMap(const OccupancyGrid2D &grid, std::ostream &out);
+
+/** Serialize a grid to a file; fatal() if unwritable. */
+void saveMovingAiMapFile(const OccupancyGrid2D &grid,
+                         const std::string &path);
+
+} // namespace rtr
+
+#endif // RTR_GRID_MAP_IO_H

@@ -1,0 +1,66 @@
+#include "grid/occupancy_grid2d.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+OccupancyGrid2D::OccupancyGrid2D(int width, int height, double resolution,
+                                 Vec2 origin)
+    : width_(width),
+      height_(height),
+      resolution_(resolution),
+      origin_(origin),
+      cells_(static_cast<std::size_t>(width) * height, 0)
+{
+    RTR_ASSERT(width > 0 && height > 0, "grid dimensions must be positive");
+    RTR_ASSERT(resolution > 0.0, "grid resolution must be positive");
+}
+
+void
+OccupancyGrid2D::setOccupied(int x, int y, bool value)
+{
+    if (!inBounds(x, y))
+        return;
+    cells_[static_cast<std::size_t>(y) * width_ + x] = value ? 1 : 0;
+}
+
+bool
+OccupancyGrid2D::occupiedWorld(const Vec2 &p) const
+{
+    Cell2 c = worldToCell(p);
+    return occupied(c.x, c.y);
+}
+
+Cell2
+OccupancyGrid2D::worldToCell(const Vec2 &p) const
+{
+    return Cell2{static_cast<int>(std::floor((p.x - origin_.x) / resolution_)),
+                 static_cast<int>(std::floor((p.y - origin_.y) / resolution_))};
+}
+
+Vec2
+OccupancyGrid2D::cellCenter(const Cell2 &c) const
+{
+    return {origin_.x + (c.x + 0.5) * resolution_,
+            origin_.y + (c.y + 0.5) * resolution_};
+}
+
+std::size_t
+OccupancyGrid2D::freeCellCount() const
+{
+    std::size_t free = 0;
+    for (std::uint8_t v : cells_)
+        free += (v == 0);
+    return free;
+}
+
+double
+OccupancyGrid2D::occupancyRatio() const
+{
+    return 1.0 - static_cast<double>(freeCellCount()) /
+                     static_cast<double>(cells_.size());
+}
+
+} // namespace rtr

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * 2-D occupancy grid.
+ *
+ * The shared world representation of the perception and planning kernels:
+ * pfl ray-casts against it, pp2d/movtar plan over it, and the synthetic
+ * map generators in map_gen.h produce instances of it.
+ */
+
+#ifndef RTR_GRID_OCCUPANCY_GRID2D_H
+#define RTR_GRID_OCCUPANCY_GRID2D_H
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace rtr {
+
+/** Integer cell coordinate in a 2-D grid. */
+struct Cell2
+{
+    int x = 0;
+    int y = 0;
+
+    constexpr bool operator==(const Cell2 &o) const = default;
+};
+
+/**
+ * A dense 2-D occupancy grid with a metric resolution and world origin.
+ *
+ * Cell (0,0) covers the world square [origin, origin + resolution)^2;
+ * cell centers are at origin + (i + 0.5) * resolution.
+ */
+class OccupancyGrid2D
+{
+  public:
+    /** Empty grid of the given dimensions; all cells free. */
+    OccupancyGrid2D(int width, int height, double resolution = 1.0,
+                    Vec2 origin = {0.0, 0.0});
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    double resolution() const { return resolution_; }
+    Vec2 origin() const { return origin_; }
+
+    /** Whether a cell coordinate lies inside the grid. */
+    bool
+    inBounds(int x, int y) const
+    {
+        return x >= 0 && x < width_ && y >= 0 && y < height_;
+    }
+
+    /** Whether a cell is occupied; out-of-bounds counts as occupied. */
+    bool
+    occupied(int x, int y) const
+    {
+        if (!inBounds(x, y))
+            return true;
+        return cells_[static_cast<std::size_t>(y) * width_ + x] != 0;
+    }
+
+    /** Unchecked occupancy test for hot loops; caller guarantees bounds. */
+    bool
+    occupiedUnchecked(int x, int y) const
+    {
+        return cells_[static_cast<std::size_t>(y) * width_ + x] != 0;
+    }
+
+    /** Mark a cell occupied/free; out-of-bounds writes are ignored. */
+    void setOccupied(int x, int y, bool value = true);
+
+    /** Whether the world point falls in an occupied (or outside) cell. */
+    bool occupiedWorld(const Vec2 &p) const;
+
+    /** World point to containing cell (may be out of bounds). */
+    Cell2 worldToCell(const Vec2 &p) const;
+
+    /** Center of a cell in world coordinates. */
+    Vec2 cellCenter(const Cell2 &c) const;
+
+    /** World-space extent of the grid. */
+    double worldWidth() const { return width_ * resolution_; }
+    double worldHeight() const { return height_ * resolution_; }
+
+    /** Number of free cells. */
+    std::size_t freeCellCount() const;
+
+    /** Fraction of cells that are occupied. */
+    double occupancyRatio() const;
+
+    /** Raw cell storage (row-major, y * width + x), 0 free / 1 occupied. */
+    const std::vector<std::uint8_t> &cells() const { return cells_; }
+
+  private:
+    int width_;
+    int height_;
+    double resolution_;
+    Vec2 origin_;
+    std::vector<std::uint8_t> cells_;
+};
+
+} // namespace rtr
+
+#endif // RTR_GRID_OCCUPANCY_GRID2D_H

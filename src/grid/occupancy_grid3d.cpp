@@ -1,0 +1,56 @@
+#include "grid/occupancy_grid3d.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+OccupancyGrid3D::OccupancyGrid3D(int width, int height, int depth,
+                                 double resolution)
+    : width_(width),
+      height_(height),
+      depth_(depth),
+      resolution_(resolution),
+      cells_(static_cast<std::size_t>(width) * height * depth, 0)
+{
+    RTR_ASSERT(width > 0 && height > 0 && depth > 0,
+               "grid dimensions must be positive");
+    RTR_ASSERT(resolution > 0.0, "grid resolution must be positive");
+}
+
+void
+OccupancyGrid3D::setOccupied(int x, int y, int z, bool value)
+{
+    if (!inBounds(x, y, z))
+        return;
+    cells_[index(x, y, z)] = value ? 1 : 0;
+}
+
+void
+OccupancyGrid3D::fillBox(const Cell3 &lo, const Cell3 &hi, bool value)
+{
+    int x0 = std::max(0, std::min(lo.x, hi.x));
+    int y0 = std::max(0, std::min(lo.y, hi.y));
+    int z0 = std::max(0, std::min(lo.z, hi.z));
+    int x1 = std::min(width_ - 1, std::max(lo.x, hi.x));
+    int y1 = std::min(height_ - 1, std::max(lo.y, hi.y));
+    int z1 = std::min(depth_ - 1, std::max(lo.z, hi.z));
+    for (int z = z0; z <= z1; ++z) {
+        for (int y = y0; y <= y1; ++y) {
+            for (int x = x0; x <= x1; ++x)
+                cells_[index(x, y, z)] = value ? 1 : 0;
+        }
+    }
+}
+
+std::size_t
+OccupancyGrid3D::freeCellCount() const
+{
+    std::size_t free = 0;
+    for (std::uint8_t v : cells_)
+        free += (v == 0);
+    return free;
+}
+
+} // namespace rtr

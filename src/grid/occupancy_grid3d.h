@@ -1,0 +1,96 @@
+/**
+ * @file
+ * 3-D occupancy grid for the UAV planning kernel (pp3d).
+ */
+
+#ifndef RTR_GRID_OCCUPANCY_GRID3D_H
+#define RTR_GRID_OCCUPANCY_GRID3D_H
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec3.h"
+
+namespace rtr {
+
+/** Integer cell coordinate in a 3-D grid. */
+struct Cell3
+{
+    int x = 0;
+    int y = 0;
+    int z = 0;
+
+    constexpr bool operator==(const Cell3 &o) const = default;
+};
+
+/** Dense 3-D occupancy grid; layout is x-fastest, then y, then z. */
+class OccupancyGrid3D
+{
+  public:
+    /** Empty grid of the given dimensions; all cells free. */
+    OccupancyGrid3D(int width, int height, int depth,
+                    double resolution = 1.0);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int depth() const { return depth_; }
+    double resolution() const { return resolution_; }
+
+    /** Whether a cell coordinate lies inside the grid. */
+    bool
+    inBounds(int x, int y, int z) const
+    {
+        return x >= 0 && x < width_ && y >= 0 && y < height_ && z >= 0 &&
+               z < depth_;
+    }
+
+    /** Whether a cell is occupied; out-of-bounds counts as occupied. */
+    bool
+    occupied(int x, int y, int z) const
+    {
+        if (!inBounds(x, y, z))
+            return true;
+        return cells_[index(x, y, z)] != 0;
+    }
+
+    /** Unchecked occupancy test for hot loops; caller guarantees bounds. */
+    bool
+    occupiedUnchecked(int x, int y, int z) const
+    {
+        return cells_[index(x, y, z)] != 0;
+    }
+
+    /** Mark a cell occupied/free; out-of-bounds writes are ignored. */
+    void setOccupied(int x, int y, int z, bool value = true);
+
+    /** Mark an axis-aligned solid box of cells occupied. */
+    void fillBox(const Cell3 &lo, const Cell3 &hi, bool value = true);
+
+    /** Number of free cells. */
+    std::size_t freeCellCount() const;
+
+    /** Center of a cell in world coordinates (origin at zero). */
+    Vec3
+    cellCenter(const Cell3 &c) const
+    {
+        return {(c.x + 0.5) * resolution_, (c.y + 0.5) * resolution_,
+                (c.z + 0.5) * resolution_};
+    }
+
+  private:
+    std::size_t
+    index(int x, int y, int z) const
+    {
+        return (static_cast<std::size_t>(z) * height_ + y) * width_ + x;
+    }
+
+    int width_;
+    int height_;
+    int depth_;
+    double resolution_;
+    std::vector<std::uint8_t> cells_;
+};
+
+} // namespace rtr
+
+#endif // RTR_GRID_OCCUPANCY_GRID3D_H

@@ -1,0 +1,83 @@
+#include "grid/raycast.h"
+
+#include <cmath>
+
+namespace rtr {
+
+double
+castRay(const OccupancyGrid2D &grid, const Vec2 &origin, double angle,
+        double max_range)
+{
+    const double res = grid.resolution();
+    const double dir_x = std::cos(angle);
+    const double dir_y = std::sin(angle);
+
+    Cell2 cell = grid.worldToCell(origin);
+    if (grid.occupied(cell.x, cell.y))
+        return 0.0;
+
+    // Amanatides-Woo traversal setup: t measures world distance along
+    // the ray; t_max_* is the distance at which the ray crosses the next
+    // cell boundary on each axis; t_delta_* the distance between
+    // successive crossings.
+    const int step_x = dir_x > 0 ? 1 : (dir_x < 0 ? -1 : 0);
+    const int step_y = dir_y > 0 ? 1 : (dir_y < 0 ? -1 : 0);
+
+    const double inf = 1e300;
+    double t_max_x = inf, t_delta_x = inf;
+    if (step_x != 0) {
+        double cell_edge = grid.origin().x +
+                           (cell.x + (step_x > 0 ? 1 : 0)) * res;
+        t_max_x = (cell_edge - origin.x) / dir_x;
+        t_delta_x = res / std::abs(dir_x);
+    }
+    double t_max_y = inf, t_delta_y = inf;
+    if (step_y != 0) {
+        double cell_edge = grid.origin().y +
+                           (cell.y + (step_y > 0 ? 1 : 0)) * res;
+        t_max_y = (cell_edge - origin.y) / dir_y;
+        t_delta_y = res / std::abs(dir_y);
+    }
+
+    while (true) {
+        double t;
+        if (t_max_x < t_max_y) {
+            t = t_max_x;
+            cell.x += step_x;
+            t_max_x += t_delta_x;
+        } else {
+            t = t_max_y;
+            cell.y += step_y;
+            t_max_y += t_delta_y;
+        }
+        if (t > max_range)
+            return max_range;
+        if (grid.occupied(cell.x, cell.y))
+            return t;
+    }
+}
+
+void
+castScan(const OccupancyGrid2D &grid, const Vec2 &origin, double start_angle,
+         double fov, int n_rays, double max_range, std::vector<double> &out)
+{
+    const double step = n_rays > 1 ? fov / n_rays : 0.0;
+    for (int i = 0; i < n_rays; ++i)
+        out.push_back(castRay(grid, origin, start_angle + i * step,
+                              max_range));
+}
+
+double
+castRayReference(const OccupancyGrid2D &grid, const Vec2 &origin,
+                 double angle, double max_range)
+{
+    const double step = grid.resolution() * 0.02;
+    const Vec2 dir{std::cos(angle), std::sin(angle)};
+    for (double t = 0.0; t <= max_range; t += step) {
+        if (grid.occupiedWorld(origin + dir * t))
+            return t;
+    }
+    return max_range;
+}
+
+} // namespace rtr

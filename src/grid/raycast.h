@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Grid ray-casting (DDA traversal).
+ *
+ * The paper identifies ray-casting as the dominant cost of particle
+ * filter localization (67-78% of execution time): every particle casts
+ * one ray per laser beam against the map. This module is that primitive.
+ */
+
+#ifndef RTR_GRID_RAYCAST_H
+#define RTR_GRID_RAYCAST_H
+
+#include <vector>
+
+#include "geom/vec2.h"
+#include "grid/occupancy_grid2d.h"
+
+namespace rtr {
+
+/**
+ * Cast a ray from a world-space origin at the given angle and return the
+ * distance to the first occupied cell (or max_range if none is hit).
+ *
+ * Uses Amanatides-Woo DDA so every traversed cell is visited exactly
+ * once; the access pattern is the spatially-local streaming walk the
+ * paper highlights as acceleration-friendly.
+ */
+double castRay(const OccupancyGrid2D &grid, const Vec2 &origin, double angle,
+               double max_range);
+
+/**
+ * Cast a fan of rays (a full simulated laser scan) and append the hit
+ * distances to @p out, one per angle in
+ * [start_angle, start_angle + fov), evenly spaced.
+ */
+void castScan(const OccupancyGrid2D &grid, const Vec2 &origin,
+              double start_angle, double fov, int n_rays, double max_range,
+              std::vector<double> &out);
+
+/** Brute-force reference ray-caster (small fixed steps), for testing. */
+double castRayReference(const OccupancyGrid2D &grid, const Vec2 &origin,
+                        double angle, double max_range);
+
+} // namespace rtr
+
+#endif // RTR_GRID_RAYCAST_H

@@ -1,0 +1,59 @@
+#include "kernels/kernel.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+void
+writeReportFile(const KernelReport &report, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write report file '", path, "'");
+    out << "section,key,value\n";
+    out << "run,success," << (report.success ? 1 : 0) << "\n";
+    out << "run,roi_seconds," << report.roi_seconds << "\n";
+    for (const auto &phase : report.profiler.phases()) {
+        out << "phase_ns," << phase.name << "," << phase.ns << "\n";
+        out << "phase_count," << phase.name << "," << phase.count
+            << "\n";
+    }
+    for (const auto &[key, value] : report.metrics)
+        out << "metric," << key << "," << value << "\n";
+    for (const auto &[name, series] : report.series) {
+        out << "series," << name << ",";
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            if (i)
+                out << ";";
+            out << series[i];
+        }
+        out << "\n";
+    }
+}
+
+std::string
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Perception:
+        return "Perception";
+      case Stage::Planning:
+        return "Planning";
+      case Stage::Control:
+        return "Control";
+    }
+    panic("unknown stage");
+}
+
+KernelReport
+Kernel::runWithDefaults(const std::vector<std::string> &overrides) const
+{
+    ArgParser parser(name());
+    addOptions(parser);
+    parser.parse(overrides);
+    return run(parser);
+}
+
+} // namespace rtr

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared setup of the arm-manipulation kernels (07.prm - 10.rrtpp):
+ * the 5-DoF planar arm in the paper's Map-C / Map-F workspaces
+ * (Fig. 9) plus deterministic start/goal configuration sampling.
+ */
+
+#ifndef RTR_KERNELS_KERNEL_ARM_COMMON_H
+#define RTR_KERNELS_KERNEL_ARM_COMMON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "arm/cspace.h"
+#include "arm/planar_arm.h"
+#include "arm/workspace.h"
+#include "geom/angle.h"
+#include "util/args.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+/**
+ * Everything the sampling-based kernels need to plan. Arm and workspace
+ * are heap-held so the checker's references stay valid when the problem
+ * object is moved.
+ */
+struct ArmProblem
+{
+    std::unique_ptr<PlanarArm> arm;
+    std::unique_ptr<Workspace> workspace;
+    ConfigSpace space;
+    std::unique_ptr<ArmCollisionChecker> checker;
+    ArmConfig start;
+    ArmConfig goal;
+};
+
+/** Register the options shared by all four arm kernels. */
+inline void
+addArmOptions(ArgParser &parser)
+{
+    parser.addOption("dof", "5", "Arm degrees of freedom");
+    parser.addOption("map", "C", "Workspace: C (cluttered) or F (free)");
+    parser.addOption("seed", "1", "Random seed (planner sampling)");
+    parser.addOption("instance-seed", "1",
+                     "Random seed for the start/goal instance");
+}
+
+/** Build the problem from parsed options. */
+inline ArmProblem
+makeArmProblem(const ArgParser &args)
+{
+    const auto dof = static_cast<std::size_t>(args.getInt("dof"));
+    RTR_ASSERT(dof >= 2, "arm kernels need dof >= 2");
+    const std::string map = args.get("map");
+    if (map != "F" && map != "C")
+        fatal("--map must be C or F, got '", map, "'");
+
+    ArmProblem problem{
+        std::make_unique<PlanarArm>(
+            PlanarArm::uniform(Vec2{0.25, 0.0}, dof, 0.45)),
+        std::make_unique<Workspace>(map == "F" ? makeMapF() : makeMapC()),
+        ConfigSpace(dof, -kPi, kPi),
+        nullptr,
+        {},
+        {},
+    };
+    problem.checker = std::make_unique<ArmCollisionChecker>(
+        *problem.arm, *problem.workspace);
+
+    // Deterministic, well-separated, collision-free endpoints. The
+    // instance seed is independent of the planner seed so seed sweeps
+    // compare planners on the same problem.
+    Rng rng(static_cast<std::uint64_t>(args.getInt("instance-seed")) *
+                2654435761ULL +
+            99);
+    auto sample_free = [&]() -> ArmConfig {
+        for (int attempt = 0; attempt < 100000; ++attempt) {
+            ArmConfig q = problem.space.sample(rng);
+            if (!problem.checker->configCollides(q))
+                return q;
+        }
+        fatal("could not sample a collision-free configuration");
+    };
+    problem.start = sample_free();
+    do {
+        problem.goal = sample_free();
+    } while (ConfigSpace::distance(problem.start, problem.goal) < 1.5);
+    problem.checker->resetCounter();
+    return problem;
+}
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_ARM_COMMON_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Kernel 16.bo — Bayesian optimization policy learning (paper §V.16).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_BO_H
+#define RTR_KERNELS_KERNEL_BO_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * The ball-throwing task learned with GP-UCB Bayesian optimization: 45
+ * learning iterations, each scoring a large candidate batch with the
+ * acquisition function and sorting it (paper: BO's sort is ~6x costlier
+ * than CEM's, and it runs ~15000x more (acquisition) iterations).
+ *
+ * Key metrics: sort_fraction, acquisition_evals, best reward, and the
+ * per-iteration reward series (Fig. 19).
+ */
+class BoKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "bo"; }
+    Stage stage() const override { return Stage::Control; }
+    std::string
+    description() const override
+    {
+        return "Bayesian optimization for a ball-throwing robot";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_BO_H

@@ -1,0 +1,72 @@
+#include "kernels/kernel_cem.h"
+
+#include "control/ball_throw.h"
+#include "control/cem.h"
+#include "util/roi.h"
+#include "util/stopwatch.h"
+
+namespace rtr {
+
+void
+CemKernel::addOptions(ArgParser &parser) const
+{
+    parser.addOption("iterations", "5", "Learning iterations");
+    parser.addOption("samples", "15", "Samples per iteration");
+    parser.addOption("elites", "4", "Elite samples kept per iteration");
+    parser.addOption("goal", "5.0", "Throw goal distance (m)");
+    parser.addOption("repeats", "2000",
+                     "Learning episodes (for measurable timing)");
+    parser.addOption("seed", "1", "Random seed");
+}
+
+KernelReport
+CemKernel::run(const ArgParser &args) const
+{
+    KernelReport report;
+    BallThrowEnv env(args.getDouble("goal"));
+
+    CemConfig config;
+    config.iterations = static_cast<int>(args.getInt("iterations"));
+    config.samples_per_iteration =
+        static_cast<int>(args.getInt("samples"));
+    config.elites = static_cast<int>(args.getInt("elites"));
+    CemOptimizer optimizer(config);
+
+    const int repeats = static_cast<int>(args.getInt("repeats"));
+    Rng rng(static_cast<std::uint64_t>(args.getInt("seed")));
+
+    auto reward = [&env](const std::vector<double> &params) {
+        return env.evaluate(params);
+    };
+    auto trace = [&env](const std::vector<double> &params) {
+        return env.flightTrace(params);
+    };
+
+    // ---- Learning (the ROI). One episode is tiny (75 evaluations);
+    // repeat it to produce stable timing, exactly as a robot re-learning
+    // across trials would. ----
+    CemResult result;
+    Stopwatch roi_timer;
+    {
+        ScopedRoi roi;
+        for (int r = 0; r < repeats; ++r)
+            result = optimizer.optimize(reward, env.lowerBounds(),
+                                        env.upperBounds(), rng,
+                                        &report.profiler, trace);
+    }
+    report.roi_seconds = roi_timer.elapsedSec();
+
+    report.success = result.best_reward > -0.25;
+    report.metrics["sort_fraction"] = report.phaseFraction("sort");
+    report.metrics["evaluate_fraction"] =
+        report.phaseFraction("evaluate");
+    report.metrics["best_reward"] = result.best_reward;
+    report.metrics["evaluations_per_episode"] =
+        static_cast<double>(result.evaluations);
+    report.metrics["sort_ns_per_episode"] =
+        static_cast<double>(report.profiler.phaseNs("sort")) / repeats;
+    report.series["reward"] = std::move(result.reward_history);
+    return report;
+}
+
+} // namespace rtr

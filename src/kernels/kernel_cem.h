@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Kernel 15.cem — cross-entropy method policy learning (paper §V.15).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_CEM_H
+#define RTR_KERNELS_KERNEL_CEM_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * A ball-throwing robot (paper Fig. 17) learns throw parameters with
+ * CEM: five iterations of fifteen samples, sorting each batch by
+ * reward.
+ *
+ * Key metrics: sort_fraction (paper: ~1/3 of time), best reward, and
+ * the per-sample reward series (Fig. 18).
+ */
+class CemKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "cem"; }
+    Stage stage() const override { return Stage::Control; }
+    std::string
+    description() const override
+    {
+        return "CEM reinforcement learning for a ball-throwing robot";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_CEM_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Kernel 13.dmp — dynamic movement primitives (paper §V.13).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_DMP_H
+#define RTR_KERNELS_KERNEL_DMP_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * Fits a planar DMP to a demonstrated trajectory and rolls it out
+ * (paper Fig. 15). The rollout's incremental integration is the
+ * serialized, low-ILP computation the paper highlights.
+ *
+ * Key metrics: rollout ns/step (the serialization proxy), tracking
+ * error vs the demonstration, and the trajectory/velocity series.
+ */
+class DmpKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "dmp"; }
+    Stage stage() const override { return Stage::Control; }
+    std::string
+    description() const override
+    {
+        return "DMP trajectory generation from a demonstration";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_DMP_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Kernel 02.ekfslam — EKF simultaneous localization and mapping
+ * (paper §V.02).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_EKFSLAM_H
+#define RTR_KERNELS_KERNEL_EKFSLAM_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * A robot circles a synthetic landmark field (paper Fig. 3), fusing
+ * noisy range-bearing measurements with EKF-SLAM.
+ *
+ * Key metrics: matrix_ops_fraction (paper: > 0.85), final pose and
+ * landmark estimation errors, and the covariance-trace series
+ * (the shrinking uncertainty ellipses of Fig. 3-(b)).
+ */
+class EkfSlamKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "ekfslam"; }
+    Stage stage() const override { return Stage::Perception; }
+    std::string
+    description() const override
+    {
+        return "EKF-SLAM with range-bearing landmark measurements";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_EKFSLAM_H

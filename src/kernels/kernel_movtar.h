@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Kernel 06.movtar — catching a moving target (paper §V.06).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_MOVTAR_H
+#define RTR_KERNELS_KERNEL_MOVTAR_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * Weighted A* in (x, y, t) over a synthetic location-cost field, with a
+ * backward-Dijkstra heuristic, intercepting a target of known
+ * trajectory (paper Fig. 7).
+ *
+ * Key metrics: heuristic_fraction vs search_fraction (the paper's
+ * observation that the heuristic dominates in small environments, up to
+ * 62%), expansions, catch time, plan cost.
+ */
+class MovtarKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "movtar"; }
+    Stage stage() const override { return Stage::Planning; }
+    std::string
+    description() const override
+    {
+        return "Moving-target interception with WA* over (x, y, t)";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_MOVTAR_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Kernel 14.mpc — model predictive control (paper §V.14).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_MPC_H
+#define RTR_KERNELS_KERNEL_MPC_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * A self-driving car (unicycle model) follows a long reference
+ * trajectory with receding-horizon MPC under velocity/acceleration
+ * constraints (paper Fig. 16).
+ *
+ * Key metrics: optimize_fraction (paper: > 0.80), tracking error,
+ * constraint satisfaction.
+ */
+class MpcKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "mpc"; }
+    Stage stage() const override { return Stage::Control; }
+    std::string
+    description() const override
+    {
+        return "MPC trajectory tracking with a unicycle model";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_MPC_H

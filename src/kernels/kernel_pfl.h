@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Kernel 01.pfl — particle filter localization (paper §V.01).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_PFL_H
+#define RTR_KERNELS_KERNEL_PFL_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * A robot with an odometer and a laser rangefinder localizes on a known
+ * indoor building map. The run simulates the ground-truth trajectory
+ * and sensor data, then executes the filter inside the ROI.
+ *
+ * Key metrics: raycast_fraction (paper: 0.67-0.78), final_error,
+ * and the "spread" series (Fig. 2 convergence).
+ */
+class PflKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "pfl"; }
+    Stage stage() const override { return Stage::Perception; }
+    std::string
+    description() const override
+    {
+        return "Particle filter localization on a known indoor map";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_PFL_H

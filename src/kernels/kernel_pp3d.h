@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Kernel 05.pp3d — 3-D UAV path planning (paper §V.05).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_PP3D_H
+#define RTR_KERNELS_KERNEL_PP3D_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * A small UAV plans a long route through a 3-D campus volume (the
+ * fr_campus stand-in) with A* over the 26-connected lattice.
+ *
+ * Key metrics: collision_fraction and the graph-search share,
+ * expansions, path cost.
+ */
+class Pp3dKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "pp3d"; }
+    Stage stage() const override { return Stage::Planning; }
+    std::string
+    description() const override
+    {
+        return "A* UAV path planning in a 3-D campus volume";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_PP3D_H

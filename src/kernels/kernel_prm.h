@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Kernel 07.prm — Probabilistic RoadMap arm planning (paper §V.07).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_PRM_H
+#define RTR_KERNELS_KERNEL_PRM_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * A 5-DoF arm plans in Map-C/Map-F via PRM. The roadmap build is the
+ * offline phase; the ROI is the online query (start/goal attachment +
+ * graph search with L2 heuristics), matching the paper's observation
+ * that only the online search is on the critical path.
+ *
+ * Key metrics: online graph-search fraction, L2-norm evaluation count,
+ * path cost.
+ */
+class PrmKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "prm"; }
+    Stage stage() const override { return Stage::Planning; }
+    std::string
+    description() const override
+    {
+        return "PRM arm motion planning (offline roadmap, online query)";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_PRM_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Kernel 08.rrt — RRT arm planning in dynamic environments
+ * (paper §V.08).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_RRT_H
+#define RTR_KERNELS_KERNEL_RRT_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * RRT grows a tree online (no offline phase, unlike prm), so collision
+ * detection and nearest-neighbor search sit on the critical path.
+ *
+ * Key metrics: collision_fraction (paper: up to 0.62), nn_fraction
+ * (paper: up to 0.31), samples, tree size, path cost.
+ */
+class RrtKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "rrt"; }
+    Stage stage() const override { return Stage::Planning; }
+    std::string
+    description() const override
+    {
+        return "RRT arm motion planning (online tree construction)";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_RRT_H

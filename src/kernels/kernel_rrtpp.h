@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Kernel 10.rrtpp — RRT with shortcut post-processing (paper §V.10).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_RRTPP_H
+#define RTR_KERNELS_KERNEL_RRTPP_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * Baseline RRT followed by triangle-inequality shortcutting (paper
+ * Fig. 12), landing between RRT and RRT* in both runtime and path cost.
+ *
+ * Key metrics: collision/nn fractions, shortcut_fraction, cost before
+ * and after post-processing.
+ */
+class RrtPpKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "rrtpp"; }
+    Stage stage() const override { return Stage::Planning; }
+    std::string
+    description() const override
+    {
+        return "RRT arm planning plus shortcut post-processing";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_RRTPP_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Kernel 09.rrtstar — asymptotically-optimal RRT* (paper §V.09).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_RRTSTAR_H
+#define RTR_KERNELS_KERNEL_RRTSTAR_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * RRT* rewires the tree as it grows (paper Fig. 11), paying more
+ * nearest-neighbor and collision work for shorter paths. The paper
+ * reports up to 8x RRT's time and ~1.6x shorter paths on average; the
+ * bench_09_rrtstar harness reproduces that comparison.
+ *
+ * Key metrics: collision_fraction, nn_fraction (paper: up to 0.49),
+ * rewires, path cost.
+ */
+class RrtStarKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "rrtstar"; }
+    Stage stage() const override { return Stage::Planning; }
+    std::string
+    description() const override
+    {
+        return "RRT* arm motion planning with tree rewiring";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_RRTSTAR_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Kernel 03.srec — 3-D scene reconstruction via ICP (paper §V.03).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_SREC_H
+#define RTR_KERNELS_KERNEL_SREC_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * Depth scans of a synthetic living room (the ICL-NUIM stand-in) are
+ * registered and fused frame by frame.
+ *
+ * Key metrics: pointcloud_fraction (nearest-neighbor correspondence +
+ * merge; the paper's memory-bound >68%), matrix_ops_fraction (transform
+ * estimation), and the trajectory error against ground truth.
+ */
+class SrecKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "srec"; }
+    Stage stage() const override { return Stage::Perception; }
+    std::string
+    description() const override
+    {
+        return "ICP scene reconstruction from synthetic depth scans";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_SREC_H

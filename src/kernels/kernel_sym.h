@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Kernels 11.sym-blkw and 12.sym-fext — symbolic planning
+ * (paper §V.11-12).
+ */
+
+#ifndef RTR_KERNELS_KERNEL_SYM_H
+#define RTR_KERNELS_KERNEL_SYM_H
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/**
+ * Blocks-world solved by the symbolic planner (paper Fig. 13).
+ *
+ * Key metrics: expand_fraction (string manipulation), heuristic
+ * fraction, plan length, branching factor.
+ */
+class SymBlkwKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "sym-blkw"; }
+    Stage stage() const override { return Stage::Planning; }
+    std::string
+    description() const override
+    {
+        return "Symbolic planner solving blocks world";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+/**
+ * Firefighting robots solved by the same planner (paper Fig. 14); more
+ * valid actions per state than blocks world (~3.2x in the paper),
+ * i.e. more node-level parallelism.
+ */
+class SymFextKernel : public Kernel
+{
+  public:
+    std::string name() const override { return "sym-fext"; }
+    Stage stage() const override { return Stage::Planning; }
+    std::string
+    description() const override
+    {
+        return "Symbolic planner solving the firefighting problem";
+    }
+    void addOptions(ArgParser &parser) const override;
+    KernelReport run(const ArgParser &args) const override;
+};
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_KERNEL_SYM_H

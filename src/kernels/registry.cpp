@@ -1,0 +1,81 @@
+#include "kernels/registry.h"
+
+#include "kernels/kernel_bo.h"
+#include "kernels/kernel_cem.h"
+#include "kernels/kernel_dmp.h"
+#include "kernels/kernel_ekfslam.h"
+#include "kernels/kernel_movtar.h"
+#include "kernels/kernel_mpc.h"
+#include "kernels/kernel_pfl.h"
+#include "kernels/kernel_pp2d.h"
+#include "kernels/kernel_pp3d.h"
+#include "kernels/kernel_prm.h"
+#include "kernels/kernel_rrt.h"
+#include "kernels/kernel_rrtpp.h"
+#include "kernels/kernel_rrtstar.h"
+#include "kernels/kernel_srec.h"
+#include "kernels/kernel_sym.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+const std::vector<std::string> &
+kernelNames()
+{
+    static const std::vector<std::string> names = {
+        "pfl",     "ekfslam", "srec",     "pp2d",
+        "pp3d",    "movtar",  "prm",      "rrt",
+        "rrtstar", "rrtpp",   "sym-blkw", "sym-fext",
+        "dmp",     "mpc",     "cem",      "bo",
+    };
+    return names;
+}
+
+std::unique_ptr<Kernel>
+makeKernel(const std::string &name)
+{
+    if (name == "pfl")
+        return std::make_unique<PflKernel>();
+    if (name == "ekfslam")
+        return std::make_unique<EkfSlamKernel>();
+    if (name == "srec")
+        return std::make_unique<SrecKernel>();
+    if (name == "pp2d")
+        return std::make_unique<Pp2dKernel>();
+    if (name == "pp3d")
+        return std::make_unique<Pp3dKernel>();
+    if (name == "movtar")
+        return std::make_unique<MovtarKernel>();
+    if (name == "prm")
+        return std::make_unique<PrmKernel>();
+    if (name == "rrt")
+        return std::make_unique<RrtKernel>();
+    if (name == "rrtstar")
+        return std::make_unique<RrtStarKernel>();
+    if (name == "rrtpp")
+        return std::make_unique<RrtPpKernel>();
+    if (name == "sym-blkw")
+        return std::make_unique<SymBlkwKernel>();
+    if (name == "sym-fext")
+        return std::make_unique<SymFextKernel>();
+    if (name == "dmp")
+        return std::make_unique<DmpKernel>();
+    if (name == "mpc")
+        return std::make_unique<MpcKernel>();
+    if (name == "cem")
+        return std::make_unique<CemKernel>();
+    if (name == "bo")
+        return std::make_unique<BoKernel>();
+    fatal("unknown kernel '", name, "'");
+}
+
+std::vector<std::unique_ptr<Kernel>>
+makeAllKernels()
+{
+    std::vector<std::unique_ptr<Kernel>> kernels;
+    for (const std::string &name : kernelNames())
+        kernels.push_back(makeKernel(name));
+    return kernels;
+}
+
+} // namespace rtr

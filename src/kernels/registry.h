@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Kernel registry: every RTRBench kernel by name, in Table I order.
+ */
+
+#ifndef RTR_KERNELS_REGISTRY_H
+#define RTR_KERNELS_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.h"
+
+namespace rtr {
+
+/** All 16 kernel names in Table I order ("pfl", "ekfslam", ...). */
+const std::vector<std::string> &kernelNames();
+
+/** Instantiate a kernel by name; fatal() on unknown names. */
+std::unique_ptr<Kernel> makeKernel(const std::string &name);
+
+/** Instantiate every kernel in Table I order. */
+std::vector<std::unique_ptr<Kernel>> makeAllKernels();
+
+} // namespace rtr
+
+#endif // RTR_KERNELS_REGISTRY_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-kernel command-line driver (the paper's kernel binaries,
+ * Fig. 20): each tool executable compiles this file with
+ * RTR_KERNEL_NAME set, exposes every configuration parameter as a
+ * --option, and prints the run's metrics.
+ */
+
+#include <iostream>
+
+#include "kernels/registry.h"
+#include "util/table.h"
+
+#ifndef RTR_KERNEL_NAME
+#error "compile with -DRTR_KERNEL_NAME=\"<kernel>\""
+#endif
+
+int
+main(int argc, char **argv)
+{
+    auto kernel = rtr::makeKernel(RTR_KERNEL_NAME);
+    rtr::ArgParser parser(std::string(RTR_KERNEL_NAME) + ".out");
+    kernel->addOptions(parser);
+    parser.addOption("output", "", "Output report file (CSV)");
+    parser.parse(argc, argv);
+
+    rtr::KernelReport report = kernel->run(parser);
+    if (!parser.get("output").empty())
+        rtr::writeReportFile(report, parser.get("output"));
+
+    std::cout << kernel->name() << " (" << rtr::stageName(kernel->stage())
+              << "): " << kernel->description() << "\n";
+    std::cout << "success: " << (report.success ? "yes" : "no")
+              << "   roi: " << rtr::Table::num(report.roi_seconds * 1e3, 2)
+              << " ms\n\n";
+
+    rtr::Table phases({"phase", "time (ms)", "share of ROI", "count"});
+    for (const auto &phase : report.profiler.phases()) {
+        phases.addRow({phase.name, rtr::Table::num(phase.ns / 1e6, 2),
+                       rtr::Table::pct(report.phaseFraction(phase.name)),
+                       rtr::Table::count(phase.count)});
+    }
+    phases.print();
+    std::cout << "\n";
+
+    rtr::Table metrics({"metric", "value"});
+    for (const auto &[name, value] : report.metrics)
+        metrics.addRow({name, rtr::Table::num(value, 4)});
+    metrics.print();
+    return report.success ? 0 : 1;
+}

@@ -1,0 +1,185 @@
+#include "linalg/decomp.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+LuDecomposition::LuDecomposition(const Matrix &a)
+    : n_(a.rows()), lu_(a), pivot_(a.rows())
+{
+    RTR_ASSERT(a.rows() == a.cols(), "LU of non-square matrix");
+    for (std::size_t i = 0; i < n_; ++i)
+        pivot_[i] = i;
+
+    for (std::size_t col = 0; col < n_; ++col) {
+        // Find pivot row.
+        std::size_t best = col;
+        double best_abs = std::abs(lu_(col, col));
+        for (std::size_t r = col + 1; r < n_; ++r) {
+            double v = std::abs(lu_(r, col));
+            if (v > best_abs) {
+                best_abs = v;
+                best = r;
+            }
+        }
+        if (best_abs < 1e-13) {
+            singular_ = true;
+            continue;
+        }
+        if (best != col) {
+            for (std::size_t c = 0; c < n_; ++c)
+                std::swap(lu_(best, c), lu_(col, c));
+            std::swap(pivot_[best], pivot_[col]);
+            pivot_sign_ = -pivot_sign_;
+        }
+        // Eliminate below the pivot.
+        double inv_pivot = 1.0 / lu_(col, col);
+        for (std::size_t r = col + 1; r < n_; ++r) {
+            double factor = lu_(r, col) * inv_pivot;
+            lu_(r, col) = factor;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col + 1; c < n_; ++c)
+                lu_(r, c) -= factor * lu_(col, c);
+        }
+    }
+}
+
+Matrix
+LuDecomposition::solve(const Matrix &b) const
+{
+    RTR_ASSERT(b.rows() == n_, "solve rhs row mismatch");
+    RTR_ASSERT(!singular_, "solve with singular matrix");
+    Matrix x(n_, b.cols());
+    // Apply row permutation.
+    for (std::size_t r = 0; r < n_; ++r) {
+        for (std::size_t c = 0; c < b.cols(); ++c)
+            x(r, c) = b(pivot_[r], c);
+    }
+    // Forward substitution with unit-diagonal L.
+    for (std::size_t r = 1; r < n_; ++r) {
+        for (std::size_t k = 0; k < r; ++k) {
+            double factor = lu_(r, k);
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = 0; c < b.cols(); ++c)
+                x(r, c) -= factor * x(k, c);
+        }
+    }
+    // Backward substitution with U.
+    for (std::size_t ri = n_; ri-- > 0;) {
+        for (std::size_t k = ri + 1; k < n_; ++k) {
+            double factor = lu_(ri, k);
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = 0; c < b.cols(); ++c)
+                x(ri, c) -= factor * x(k, c);
+        }
+        double inv = 1.0 / lu_(ri, ri);
+        for (std::size_t c = 0; c < b.cols(); ++c)
+            x(ri, c) *= inv;
+    }
+    return x;
+}
+
+Matrix
+LuDecomposition::inverse() const
+{
+    return solve(Matrix::identity(n_));
+}
+
+double
+LuDecomposition::determinant() const
+{
+    if (singular_)
+        return 0.0;
+    double det = pivot_sign_;
+    for (std::size_t i = 0; i < n_; ++i)
+        det *= lu_(i, i);
+    return det;
+}
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix &a)
+    : n_(a.rows()), l_(a.rows(), a.rows())
+{
+    RTR_ASSERT(a.rows() == a.cols(), "Cholesky of non-square matrix");
+    for (std::size_t r = 0; r < n_; ++r) {
+        for (std::size_t c = 0; c <= r; ++c) {
+            double sum = a(r, c);
+            for (std::size_t k = 0; k < c; ++k)
+                sum -= l_(r, k) * l_(c, k);
+            if (r == c) {
+                if (sum <= 0.0) {
+                    failed_ = true;
+                    return;
+                }
+                l_(r, c) = std::sqrt(sum);
+            } else {
+                l_(r, c) = sum / l_(c, c);
+            }
+        }
+    }
+}
+
+Matrix
+CholeskyDecomposition::solve(const Matrix &b) const
+{
+    RTR_ASSERT(!failed_, "solve with failed Cholesky factorization");
+    RTR_ASSERT(b.rows() == n_, "solve rhs row mismatch");
+    Matrix x = b;
+    // Forward: L y = b.
+    for (std::size_t r = 0; r < n_; ++r) {
+        for (std::size_t k = 0; k < r; ++k) {
+            double factor = l_(r, k);
+            for (std::size_t c = 0; c < b.cols(); ++c)
+                x(r, c) -= factor * x(k, c);
+        }
+        double inv = 1.0 / l_(r, r);
+        for (std::size_t c = 0; c < b.cols(); ++c)
+            x(r, c) *= inv;
+    }
+    // Backward: L^T x = y.
+    for (std::size_t ri = n_; ri-- > 0;) {
+        for (std::size_t k = ri + 1; k < n_; ++k) {
+            double factor = l_(k, ri);
+            for (std::size_t c = 0; c < b.cols(); ++c)
+                x(ri, c) -= factor * x(k, c);
+        }
+        double inv = 1.0 / l_(ri, ri);
+        for (std::size_t c = 0; c < b.cols(); ++c)
+            x(ri, c) *= inv;
+    }
+    return x;
+}
+
+double
+CholeskyDecomposition::logDeterminant() const
+{
+    RTR_ASSERT(!failed_, "logDeterminant of failed factorization");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n_; ++i)
+        sum += std::log(l_(i, i));
+    return 2.0 * sum;
+}
+
+Matrix
+inverse(const Matrix &a)
+{
+    LuDecomposition lu(a);
+    if (lu.singular())
+        fatal("inverse of a singular ", a.rows(), "x", a.cols(), " matrix");
+    return lu.inverse();
+}
+
+Matrix
+solve(const Matrix &a, const Matrix &b)
+{
+    LuDecomposition lu(a);
+    if (lu.singular())
+        fatal("solve with a singular ", a.rows(), "x", a.cols(), " matrix");
+    return lu.solve(b);
+}
+
+} // namespace rtr

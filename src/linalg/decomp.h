@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Matrix decompositions and solvers: LU with partial pivoting and
+ * Cholesky for symmetric positive-definite systems.
+ */
+
+#ifndef RTR_LINALG_DECOMP_H
+#define RTR_LINALG_DECOMP_H
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rtr {
+
+/**
+ * LU decomposition with partial pivoting (PA = LU).
+ *
+ * Construction factors the matrix once; solve()/inverse() reuse the
+ * factorization.
+ */
+class LuDecomposition
+{
+  public:
+    /** Factor a square matrix. Singular inputs set singular() true. */
+    explicit LuDecomposition(const Matrix &a);
+
+    /** Whether the matrix was detected as (numerically) singular. */
+    bool singular() const { return singular_; }
+
+    /** Solve A x = b for a matrix of right-hand sides. */
+    Matrix solve(const Matrix &b) const;
+
+    /** A^-1 via n solves against the identity. */
+    Matrix inverse() const;
+
+    /** Determinant of A. */
+    double determinant() const;
+
+  private:
+    std::size_t n_;
+    Matrix lu_;
+    std::vector<std::size_t> pivot_;
+    int pivot_sign_ = 1;
+    bool singular_ = false;
+};
+
+/**
+ * Cholesky decomposition (A = L L^T) of a symmetric positive-definite
+ * matrix. Used by the Gaussian-process substrate of the BO kernel.
+ */
+class CholeskyDecomposition
+{
+  public:
+    /** Factor an SPD matrix. Non-SPD inputs set failed() true. */
+    explicit CholeskyDecomposition(const Matrix &a);
+
+    /** Whether factorization failed (matrix not positive-definite). */
+    bool failed() const { return failed_; }
+
+    /** Lower-triangular factor L. */
+    const Matrix &lower() const { return l_; }
+
+    /** Solve A x = b via forward/backward substitution. */
+    Matrix solve(const Matrix &b) const;
+
+    /** log(det(A)) computed stably from the factor. */
+    double logDeterminant() const;
+
+  private:
+    std::size_t n_;
+    Matrix l_;
+    bool failed_ = false;
+};
+
+/** Convenience: A^-1 via LU; calls fatal() on singular input. */
+Matrix inverse(const Matrix &a);
+
+/** Convenience: solve A x = b via LU; calls fatal() on singular input. */
+Matrix solve(const Matrix &a, const Matrix &b);
+
+} // namespace rtr
+
+#endif // RTR_LINALG_DECOMP_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Symmetric eigen decomposition (cyclic Jacobi).
+ *
+ * Used by the ICP substrate: the optimal rotation between point-cloud
+ * correspondences is recovered from the dominant eigenvector of Horn's
+ * 4x4 symmetric quaternion matrix.
+ */
+
+#ifndef RTR_LINALG_EIGEN_H
+#define RTR_LINALG_EIGEN_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rtr {
+
+/** Result of a symmetric eigen decomposition. */
+struct SymmetricEigen
+{
+    /** Eigenvalues in descending order. */
+    std::vector<double> values;
+    /** Matching eigenvectors as matrix columns. */
+    Matrix vectors;
+};
+
+/**
+ * Eigen decomposition of a symmetric matrix by the cyclic Jacobi method.
+ * The input must be symmetric; asymmetry beyond roundoff is a caller bug.
+ */
+SymmetricEigen symmetricEigen(const Matrix &a, int max_sweeps = 64);
+
+} // namespace rtr
+
+#endif // RTR_LINALG_EIGEN_H

@@ -1,0 +1,240 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto &row : rows) {
+        RTR_ASSERT(row.size() == cols_, "ragged initializer list");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::constant(std::size_t rows, std::size_t cols, double value)
+{
+    Matrix m(rows, cols);
+    for (double &x : m.data_)
+        x = value;
+    return m;
+}
+
+Matrix
+Matrix::diagonal(const std::vector<double> &entries)
+{
+    Matrix m(entries.size(), entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        m(i, i) = entries[i];
+    return m;
+}
+
+Matrix
+Matrix::columnVector(const std::vector<double> &entries)
+{
+    Matrix m(entries.size(), 1);
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        m(i, 0) = entries[i];
+    return m;
+}
+
+double &
+Matrix::operator()(std::size_t r, std::size_t c)
+{
+    RTR_ASSERT(r < rows_ && c < cols_, "matrix index (", r, ",", c,
+               ") out of ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::operator()(std::size_t r, std::size_t c) const
+{
+    RTR_ASSERT(r < rows_ && c < cols_, "matrix index (", r, ",", c,
+               ") out of ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::operator+(const Matrix &o) const
+{
+    Matrix out = *this;
+    out += o;
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &o) const
+{
+    Matrix out = *this;
+    out -= o;
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Matrix &o) const
+{
+    RTR_ASSERT(cols_ == o.rows_, "matmul shape mismatch: ", rows_, "x",
+               cols_, " * ", o.rows_, "x", o.cols_);
+    Matrix out(rows_, o.cols_);
+    // i-k-j loop order keeps the innermost accesses sequential in both
+    // the output row and the right operand's row.
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            double lhs = data_[i * cols_ + k];
+            if (lhs == 0.0)
+                continue;
+            const double *rhs_row = &o.data_[k * o.cols_];
+            double *out_row = &out.data_[i * o.cols_];
+            for (std::size_t j = 0; j < o.cols_; ++j)
+                out_row[j] += lhs * rhs_row[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator*(double s) const
+{
+    Matrix out = *this;
+    out *= s;
+    return out;
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &o)
+{
+    RTR_ASSERT(rows_ == o.rows_ && cols_ == o.cols_, "add shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += o.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator-=(const Matrix &o)
+{
+    RTR_ASSERT(rows_ == o.rows_ && cols_ == o.cols_, "sub shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= o.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator*=(double s)
+{
+    for (double &x : data_)
+        x *= s;
+    return *this;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = data_[r * cols_ + c];
+    }
+    return out;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double sum = 0.0;
+    for (double x : data_)
+        sum += x * x;
+    return std::sqrt(sum);
+}
+
+double
+Matrix::trace() const
+{
+    RTR_ASSERT(rows_ == cols_, "trace of non-square matrix");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i)
+        sum += data_[i * cols_ + i];
+    return sum;
+}
+
+bool
+Matrix::approxEquals(const Matrix &o, double eps) const
+{
+    if (rows_ != o.rows_ || cols_ != o.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if (std::abs(data_[i] - o.data_[i]) > eps)
+            return false;
+    }
+    return true;
+}
+
+void
+Matrix::setBlock(std::size_t row, std::size_t col, const Matrix &src)
+{
+    RTR_ASSERT(row + src.rows_ <= rows_ && col + src.cols_ <= cols_,
+               "setBlock out of bounds");
+    for (std::size_t r = 0; r < src.rows_; ++r) {
+        for (std::size_t c = 0; c < src.cols_; ++c)
+            data_[(row + r) * cols_ + (col + c)] = src(r, c);
+    }
+}
+
+Matrix
+Matrix::block(std::size_t row, std::size_t col, std::size_t h,
+              std::size_t w) const
+{
+    RTR_ASSERT(row + h <= rows_ && col + w <= cols_, "block out of bounds");
+    Matrix out(h, w);
+    for (std::size_t r = 0; r < h; ++r) {
+        for (std::size_t c = 0; c < w; ++c)
+            out(r, c) = data_[(row + r) * cols_ + (col + c)];
+    }
+    return out;
+}
+
+std::string
+Matrix::toString(int precision) const
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        oss << "[";
+        for (std::size_t c = 0; c < cols_; ++c) {
+            oss << data_[r * cols_ + c];
+            if (c + 1 < cols_)
+                oss << ", ";
+        }
+        oss << "]\n";
+    }
+    return oss.str();
+}
+
+Matrix
+operator*(double s, const Matrix &m)
+{
+    return m * s;
+}
+
+} // namespace rtr

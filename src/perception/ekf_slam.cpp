@@ -1,0 +1,203 @@
+#include "perception/ekf_slam.h"
+
+#include <cmath>
+
+#include "geom/angle.h"
+#include "linalg/decomp.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+EkfSlam::EkfSlam(int max_landmarks, EkfNoise noise)
+    : max_landmarks_(max_landmarks),
+      noise_(noise),
+      landmark_slot_(static_cast<std::size_t>(max_landmarks), -1),
+      mu_(3, 1),
+      sigma_(3, 3)
+{
+    RTR_ASSERT(max_landmarks >= 1, "need landmark capacity >= 1");
+    // The robot starts at the origin with certainty.
+}
+
+void
+EkfSlam::predict(double v, double omega, double dt, PhaseProfiler *profiler)
+{
+    ScopedPhase phase(profiler, "matrix-ops");
+    const std::size_t n = stateSize();
+    double theta = mu_(2, 0);
+
+    // Motion: unicycle forward Euler.
+    double dx = v * dt * std::cos(theta);
+    double dy = v * dt * std::sin(theta);
+    mu_(0, 0) += dx;
+    mu_(1, 0) += dy;
+    mu_(2, 0) = normalizeAngle(mu_(2, 0) + omega * dt);
+
+    // Jacobian of the motion w.r.t. the full state (identity except the
+    // pose block).
+    Matrix g = Matrix::identity(n);
+    g(0, 2) = -v * dt * std::sin(theta);
+    g(1, 2) = v * dt * std::cos(theta);
+
+    // Process noise mapped into the pose block.
+    Matrix r(n, n);
+    double sv = noise_.velocity * std::abs(v) * dt + 1e-4;
+    double sw = noise_.omega * std::abs(omega) * dt + 1e-4;
+    r(0, 0) = sv * sv;
+    r(1, 1) = sv * sv;
+    r(2, 2) = sw * sw;
+
+    sigma_ = g * sigma_ * g.transposed() + r;
+}
+
+void
+EkfSlam::update(const std::vector<RangeBearing> &observations,
+                PhaseProfiler *profiler)
+{
+    for (const RangeBearing &obs : observations) {
+        RTR_ASSERT(obs.landmark_id >= 0 && obs.landmark_id < max_landmarks_,
+                   "landmark id out of range");
+
+        if (landmark_slot_[static_cast<std::size_t>(obs.landmark_id)] < 0) {
+            // First sighting: initialize the landmark from the
+            // observation and grow the state.
+            ScopedPhase phase(profiler, "matrix-ops");
+            int slot = n_landmarks_++;
+            landmark_slot_[static_cast<std::size_t>(obs.landmark_id)] = slot;
+
+            double theta = mu_(2, 0);
+            double lx = mu_(0, 0) +
+                        obs.range * std::cos(theta + obs.bearing);
+            double ly = mu_(1, 0) +
+                        obs.range * std::sin(theta + obs.bearing);
+
+            std::size_t n_old = 3 + 2 * static_cast<std::size_t>(slot);
+            Matrix mu_new(n_old + 2, 1);
+            mu_new.setBlock(0, 0, mu_);
+            mu_new(n_old, 0) = lx;
+            mu_new(n_old + 1, 0) = ly;
+            mu_ = std::move(mu_new);
+
+            Matrix sigma_new(n_old + 2, n_old + 2);
+            sigma_new.setBlock(0, 0, sigma_);
+            // Large initial uncertainty on the new landmark.
+            sigma_new(n_old, n_old) = 1e3;
+            sigma_new(n_old + 1, n_old + 1) = 1e3;
+            sigma_ = std::move(sigma_new);
+        }
+
+        ScopedPhase phase(profiler, "matrix-ops");
+        const std::size_t n = stateSize();
+        int slot = landmark_slot_[static_cast<std::size_t>(obs.landmark_id)];
+        std::size_t li = 3 + 2 * static_cast<std::size_t>(slot);
+
+        double dx = mu_(li, 0) - mu_(0, 0);
+        double dy = mu_(li + 1, 0) - mu_(1, 0);
+        double q = dx * dx + dy * dy;
+        double sqrt_q = std::sqrt(q);
+        if (sqrt_q < 1e-9)
+            continue;
+
+        // Expected measurement and Jacobian H (2 x n, sparse in the
+        // pose and landmark columns).
+        double expected_range = sqrt_q;
+        double expected_bearing =
+            normalizeAngle(std::atan2(dy, dx) - mu_(2, 0));
+
+        Matrix h(2, n);
+        h(0, 0) = -dx / sqrt_q;
+        h(0, 1) = -dy / sqrt_q;
+        h(0, 2) = 0.0;
+        h(0, li) = dx / sqrt_q;
+        h(0, li + 1) = dy / sqrt_q;
+        h(1, 0) = dy / q;
+        h(1, 1) = -dx / q;
+        h(1, 2) = -1.0;
+        h(1, li) = -dy / q;
+        h(1, li + 1) = dx / q;
+
+        Matrix q_noise{{noise_.range * noise_.range, 0.0},
+                       {0.0, noise_.bearing * noise_.bearing}};
+
+        Matrix ht = h.transposed();
+        Matrix s = h * sigma_ * ht + q_noise;
+        Matrix k = sigma_ * ht * inverse(s);
+
+        Matrix innovation(2, 1);
+        innovation(0, 0) = obs.range - expected_range;
+        innovation(1, 0) =
+            normalizeAngle(obs.bearing - expected_bearing);
+
+        mu_ += k * innovation;
+        mu_(2, 0) = normalizeAngle(mu_(2, 0));
+        sigma_ = (Matrix::identity(n) - k * h) * sigma_;
+    }
+}
+
+Pose2
+EkfSlam::robotEstimate() const
+{
+    return Pose2{mu_(0, 0), mu_(1, 0), mu_(2, 0)};
+}
+
+bool
+EkfSlam::landmarkKnown(int id) const
+{
+    return id >= 0 && id < max_landmarks_ &&
+           landmark_slot_[static_cast<std::size_t>(id)] >= 0;
+}
+
+Vec2
+EkfSlam::landmarkEstimate(int id) const
+{
+    RTR_ASSERT(landmarkKnown(id), "landmark ", id, " not initialized");
+    std::size_t li =
+        3 + 2 * static_cast<std::size_t>(
+                    landmark_slot_[static_cast<std::size_t>(id)]);
+    return Vec2{mu_(li, 0), mu_(li + 1, 0)};
+}
+
+Matrix
+EkfSlam::robotCovariance() const
+{
+    return sigma_.block(0, 0, 2, 2);
+}
+
+SlamWorld
+SlamWorld::make(int n_landmarks, std::uint64_t seed)
+{
+    RTR_ASSERT(n_landmarks >= 1, "need >= 1 landmark");
+    SlamWorld world;
+    Rng rng(seed);
+    // Landmarks on a ring of radius ~10 with jitter (the paper's
+    // synthetic six-landmark environment).
+    for (int i = 0; i < n_landmarks; ++i) {
+        double angle = kTwoPi * i / n_landmarks;
+        double radius = 10.0 + rng.uniform(-2.0, 2.0);
+        world.landmarks.push_back(
+            Vec2{radius * std::cos(angle), radius * std::sin(angle)});
+    }
+    return world;
+}
+
+std::vector<RangeBearing>
+SlamWorld::observe(const Pose2 &pose, EkfNoise noise, Rng &rng) const
+{
+    std::vector<RangeBearing> observations;
+    for (std::size_t i = 0; i < landmarks.size(); ++i) {
+        double dx = landmarks[i].x - pose.x;
+        double dy = landmarks[i].y - pose.y;
+        double range = std::sqrt(dx * dx + dy * dy);
+        if (range > sensor_range)
+            continue;
+        RangeBearing obs;
+        obs.landmark_id = static_cast<int>(i);
+        obs.range = range + rng.normal(0.0, noise.range);
+        obs.bearing = normalizeAngle(std::atan2(dy, dx) - pose.theta +
+                                     rng.normal(0.0, noise.bearing));
+        observations.push_back(obs);
+    }
+    return observations;
+}
+
+} // namespace rtr

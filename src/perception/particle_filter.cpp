@@ -1,0 +1,318 @@
+#include "perception/particle_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grid/raycast.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+ParticleFilter::ParticleFilter(const OccupancyGrid2D &map,
+                               std::size_t n_particles,
+                               MotionNoise motion_noise,
+                               BeamSensorModel sensor_model)
+    : map_(map),
+      motion_noise_(motion_noise),
+      sensor_model_(sensor_model),
+      particles_(n_particles)
+{
+    RTR_ASSERT(n_particles >= 1, "need at least one particle");
+}
+
+Pose2
+ParticleFilter::sampleFreePose(Rng &rng) const
+{
+    const Vec2 origin = map_.origin();
+    // Rejection-sample free cells.
+    while (true) {
+        double x = origin.x + rng.uniform(0.0, map_.worldWidth());
+        double y = origin.y + rng.uniform(0.0, map_.worldHeight());
+        if (!map_.occupiedWorld({x, y}))
+            return Pose2{x, y, rng.uniform(-kPi, kPi)};
+    }
+}
+
+void
+ParticleFilter::initializeUniform(Rng &rng)
+{
+    for (Particle &p : particles_) {
+        p.pose = sampleFreePose(rng);
+        p.weight = 1.0 / static_cast<double>(particles_.size());
+    }
+}
+
+void
+ParticleFilter::initializeRegion(const Pose2 &guess, double radius,
+                                 double heading_window, Rng &rng)
+{
+    for (Particle &p : particles_) {
+        while (true) {
+            double angle = rng.uniform(-kPi, kPi);
+            double r = radius * std::sqrt(rng.uniform());
+            Vec2 pos{guess.x + r * std::cos(angle),
+                     guess.y + r * std::sin(angle)};
+            if (!map_.occupiedWorld(pos)) {
+                p.pose = Pose2{pos.x, pos.y,
+                               normalizeAngle(
+                                   guess.theta +
+                                   rng.uniform(-heading_window,
+                                               heading_window))};
+                break;
+            }
+        }
+        p.weight = 1.0 / static_cast<double>(particles_.size());
+    }
+}
+
+void
+ParticleFilter::initializeGaussian(const Pose2 &mean, double pos_stddev,
+                                   double ang_stddev, Rng &rng)
+{
+    for (Particle &p : particles_) {
+        p.pose = Pose2{mean.x + rng.normal(0.0, pos_stddev),
+                       mean.y + rng.normal(0.0, pos_stddev),
+                       normalizeAngle(mean.theta +
+                                      rng.normal(0.0, ang_stddev))};
+        p.weight = 1.0 / static_cast<double>(particles_.size());
+    }
+}
+
+void
+ParticleFilter::motionUpdate(const OdometryReading &odom, Rng &rng,
+                             PhaseProfiler *profiler)
+{
+    ScopedPhase phase(profiler, "motion-update");
+    const MotionNoise &n = motion_noise_;
+    for (Particle &p : particles_) {
+        double rot1 = odom.rot1 +
+                      rng.normal(0.0, n.a1 * std::abs(odom.rot1) +
+                                          n.a2 * odom.trans);
+        double trans = odom.trans +
+                       rng.normal(0.0, n.a3 * odom.trans +
+                                           n.a4 * (std::abs(odom.rot1) +
+                                                   std::abs(odom.rot2)));
+        double rot2 = odom.rot2 +
+                      rng.normal(0.0, n.a1 * std::abs(odom.rot2) +
+                                          n.a2 * odom.trans);
+        double heading = p.pose.theta + rot1;
+        p.pose.x += trans * std::cos(heading);
+        p.pose.y += trans * std::sin(heading);
+        p.pose.theta = normalizeAngle(heading + rot2);
+    }
+}
+
+void
+ParticleFilter::measurementUpdate(const LaserScan &scan,
+                                  PhaseProfiler *profiler)
+{
+    const std::size_t n_beams = scan.ranges.size();
+    RTR_ASSERT(n_beams >= 1, "scan needs >= 1 beam");
+    const double beam_step = n_beams > 1 ? scan.fov / static_cast<double>(n_beams)
+                                         : 0.0;
+    const double inv_sigma2 =
+        1.0 / (2.0 * sensor_model_.sigma * sensor_model_.sigma);
+    const double gauss_norm =
+        1.0 / (sensor_model_.sigma * std::sqrt(2.0 * kPi));
+    const double rand_density = 1.0 / scan.max_range;
+
+    std::vector<double> expected(n_beams);
+    double max_log_weight = -1e300;
+    std::vector<double> log_weights(particles_.size());
+
+    for (std::size_t i = 0; i < particles_.size(); ++i) {
+        Particle &p = particles_[i];
+
+        // Ray-casting: match this hypothesis against the map. This is
+        // the dominant phase of the kernel.
+        {
+            ScopedPhase phase(profiler, "raycast");
+            for (std::size_t b = 0; b < n_beams; ++b) {
+                double angle = p.pose.theta + scan.start_angle +
+                               static_cast<double>(b) * beam_step;
+                expected[b] = castRay(map_, p.pose.position(), angle,
+                                      scan.max_range);
+            }
+            rays_cast_ += n_beams;
+        }
+
+        // Score the match under the beam mixture model.
+        {
+            ScopedPhase phase(profiler, "weight");
+            double log_w = 0.0;
+            for (std::size_t b = 0; b < n_beams; ++b) {
+                double diff = scan.ranges[b] - expected[b];
+                double density =
+                    sensor_model_.z_hit * gauss_norm *
+                        std::exp(-diff * diff * inv_sigma2) +
+                    sensor_model_.z_rand * rand_density;
+                log_w += std::log(density + 1e-300);
+            }
+            log_w /= sensor_model_.temperature;
+            log_weights[i] = log_w;
+            if (log_w > max_log_weight)
+                max_log_weight = log_w;
+        }
+    }
+
+    // Normalize in a numerically safe way.
+    double total = 0.0;
+    for (std::size_t i = 0; i < particles_.size(); ++i) {
+        particles_[i].weight =
+            particles_[i].weight *
+            std::exp(log_weights[i] - max_log_weight);
+        total += particles_[i].weight;
+    }
+    if (total <= 0.0) {
+        // Degenerate: reset to uniform weights.
+        for (Particle &p : particles_)
+            p.weight = 1.0 / static_cast<double>(particles_.size());
+        return;
+    }
+    for (Particle &p : particles_)
+        p.weight /= total;
+}
+
+void
+ParticleFilter::resample(Rng &rng, PhaseProfiler *profiler)
+{
+    ScopedPhase phase(profiler, "resample");
+    const std::size_t n = particles_.size();
+    std::vector<Particle> next;
+    next.reserve(n);
+
+    // Low-variance (systematic) resampling.
+    double step = 1.0 / static_cast<double>(n);
+    double pointer = rng.uniform(0.0, step);
+    double cumulative = particles_[0].weight;
+    std::size_t index = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double target = pointer + static_cast<double>(i) * step;
+        while (cumulative < target && index + 1 < n) {
+            ++index;
+            cumulative += particles_[index].weight;
+        }
+        Particle p = particles_[index];
+        p.weight = step;
+        next.push_back(p);
+    }
+
+    // Augmented-MCL recovery: re-seed a small fraction uniformly.
+    auto inject =
+        static_cast<std::size_t>(random_injection_ * static_cast<double>(n));
+    for (std::size_t i = 0; i < inject; ++i) {
+        std::size_t victim = rng.index(n);
+        next[victim].pose = sampleFreePose(rng);
+        next[victim].weight = step;
+    }
+    particles_ = std::move(next);
+}
+
+Pose2
+ParticleFilter::estimate() const
+{
+    double x = 0.0, y = 0.0, sin_sum = 0.0, cos_sum = 0.0, total = 0.0;
+    for (const Particle &p : particles_) {
+        x += p.weight * p.pose.x;
+        y += p.weight * p.pose.y;
+        sin_sum += p.weight * std::sin(p.pose.theta);
+        cos_sum += p.weight * std::cos(p.pose.theta);
+        total += p.weight;
+    }
+    if (total <= 0.0)
+        return {};
+    return Pose2{x / total, y / total, std::atan2(sin_sum, cos_sum)};
+}
+
+double
+ParticleFilter::spread() const
+{
+    Pose2 mean = estimate();
+    double sum = 0.0, total = 0.0;
+    for (const Particle &p : particles_) {
+        double dx = p.pose.x - mean.x;
+        double dy = p.pose.y - mean.y;
+        sum += p.weight * (dx * dx + dy * dy);
+        total += p.weight;
+    }
+    return total > 0.0 ? std::sqrt(sum / total) : 0.0;
+}
+
+double
+ParticleFilter::effectiveSampleSize() const
+{
+    double sum = 0.0, sum_sq = 0.0;
+    for (const Particle &p : particles_) {
+        sum += p.weight;
+        sum_sq += p.weight * p.weight;
+    }
+    if (sum_sq <= 0.0)
+        return 0.0;
+    // Normalize first so unnormalized weights do not skew the measure.
+    return (sum * sum) / sum_sq;
+}
+
+bool
+ParticleFilter::resampleIfNeeded(Rng &rng, double threshold_fraction,
+                                 PhaseProfiler *profiler)
+{
+    if (effectiveSampleSize() >=
+        threshold_fraction * static_cast<double>(particles_.size()))
+        return false;
+    resample(rng, profiler);
+    return true;
+}
+
+double
+ParticleFilter::coreSpread(double fraction) const
+{
+    Pose2 mean = estimate();
+    std::vector<double> d2;
+    d2.reserve(particles_.size());
+    for (const Particle &p : particles_) {
+        double dx = p.pose.x - mean.x;
+        double dy = p.pose.y - mean.y;
+        d2.push_back(dx * dx + dy * dy);
+    }
+    std::sort(d2.begin(), d2.end());
+    auto keep = static_cast<std::size_t>(fraction *
+                                         static_cast<double>(d2.size()));
+    keep = std::max<std::size_t>(keep, 1);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < keep; ++i)
+        sum += d2[i];
+    return std::sqrt(sum / static_cast<double>(keep));
+}
+
+OdometryReading
+odometryBetween(const Pose2 &from, const Pose2 &to)
+{
+    OdometryReading odom;
+    double dx = to.x - from.x;
+    double dy = to.y - from.y;
+    odom.trans = std::sqrt(dx * dx + dy * dy);
+    double direction = odom.trans > 1e-9 ? std::atan2(dy, dx) : from.theta;
+    odom.rot1 = angleDiff(direction, from.theta);
+    odom.rot2 = angleDiff(to.theta, direction);
+    return odom;
+}
+
+LaserScan
+simulateScan(const OccupancyGrid2D &map, const Pose2 &pose, int n_beams,
+             double max_range, double noise_stddev, Rng &rng)
+{
+    LaserScan scan;
+    scan.max_range = max_range;
+    scan.ranges.reserve(static_cast<std::size_t>(n_beams));
+    double beam_step = n_beams > 1 ? scan.fov / n_beams : 0.0;
+    for (int b = 0; b < n_beams; ++b) {
+        double angle = pose.theta + scan.start_angle + b * beam_step;
+        double range = castRay(map, pose.position(), angle, max_range);
+        if (range < max_range)
+            range = std::max(0.0, range + rng.normal(0.0, noise_stddev));
+        scan.ranges.push_back(range);
+    }
+    return scan;
+}
+
+} // namespace rtr

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared result types for the sampling-based planners.
+ */
+
+#ifndef RTR_PLAN_PLAN_TYPES_H
+#define RTR_PLAN_PLAN_TYPES_H
+
+#include <cstddef>
+#include <vector>
+
+#include "arm/cspace.h"
+#include "arm/planar_arm.h"
+
+namespace rtr {
+
+/** Outcome of a sampling-based motion plan. */
+struct MotionPlan
+{
+    /** Whether a path from start to goal was found. */
+    bool found = false;
+    /** Waypoint configurations from start to goal. */
+    std::vector<ArmConfig> path;
+    /** Joint-space path length (sum of L2 segment lengths). */
+    double cost = 0.0;
+    /** Random samples drawn. */
+    std::size_t samples_drawn = 0;
+    /** Nodes in the final tree/roadmap. */
+    std::size_t tree_size = 0;
+    /** Configuration collision checks performed. */
+    std::size_t collision_checks = 0;
+    /** Nearest-neighbor / radius queries performed. */
+    std::size_t nn_queries = 0;
+};
+
+/** Joint-space length of a waypoint path. */
+double pathCost(const std::vector<ArmConfig> &path);
+
+} // namespace rtr
+
+#endif // RTR_PLAN_PLAN_TYPES_H

@@ -1,0 +1,154 @@
+#include "plan/prm.h"
+
+#include <algorithm>
+
+#include "pointcloud/dyn_kdtree.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+PrmPlanner::PrmPlanner(const ConfigSpace &space,
+                       const ArmCollisionChecker &checker,
+                       const PrmConfig &config)
+    : space_(space), checker_(checker), config_(config)
+{
+}
+
+PrmBuildStats
+PrmPlanner::build(Rng &rng, PhaseProfiler *profiler)
+{
+    PrmBuildStats stats;
+    std::size_t checks_before = checker_.checksPerformed();
+
+    configs_.clear();
+    graph_ = ExplicitGraph();
+
+    {
+        ScopedPhase phase(profiler, "sampling");
+        while (configs_.size() < config_.n_samples) {
+            ++stats.samples_drawn;
+            ArmConfig q = space_.sample(rng);
+            if (!checker_.configCollides(q)) {
+                configs_.push_back(std::move(q));
+                graph_.addNode();
+            }
+            // Pathological workspaces could reject forever; cap the
+            // rejection rate at 1000x the target size.
+            if (stats.samples_drawn > config_.n_samples * 1000)
+                fatal("PRM sampling cannot find free configurations");
+        }
+    }
+
+    {
+        ScopedPhase phase(profiler, "offline-connect");
+        // k-nearest connection via a kd-tree over all roadmap configs.
+        DynKdTree tree(space_.dof());
+        for (std::size_t i = 0; i < configs_.size(); ++i)
+            tree.insert(configs_[i], static_cast<std::uint32_t>(i));
+
+        for (std::size_t i = 0; i < configs_.size(); ++i) {
+            std::vector<KdHit> near =
+                tree.radiusSearch(configs_[i], config_.max_edge_length);
+            std::sort(near.begin(), near.end(),
+                      [](const KdHit &a, const KdHit &b) {
+                          return a.dist2 < b.dist2;
+                      });
+            std::size_t connected = 0;
+            for (const KdHit &hit : near) {
+                if (hit.id <= i)  // undirected: connect upward only
+                    continue;
+                if (connected >= config_.k_neighbors)
+                    break;
+                if (!checker_.motionCollides(configs_[i],
+                                             configs_[hit.id],
+                                             config_.collision_step)) {
+                    graph_.addEdge(static_cast<std::uint32_t>(i), hit.id,
+                                   std::sqrt(hit.dist2));
+                    ++connected;
+                }
+            }
+        }
+    }
+
+    stats.nodes = configs_.size();
+    stats.edges = graph_.edgeCount();
+    stats.collision_checks = checker_.checksPerformed() - checks_before;
+    return stats;
+}
+
+MotionPlan
+PrmPlanner::query(const ArmConfig &start, const ArmConfig &goal,
+                  PhaseProfiler *profiler) const
+{
+    MotionPlan result;
+    RTR_ASSERT(!configs_.empty(), "query before build()");
+    std::size_t checks_before = checker_.checksPerformed();
+
+    // Work on a copy of the roadmap so queries are independent.
+    ExplicitGraph graph = graph_;
+    std::vector<ArmConfig> configs = configs_;
+
+    std::uint32_t start_id, goal_id;
+    {
+        ScopedPhase phase(profiler, "online-connect");
+        if (checker_.configCollides(start) ||
+            checker_.configCollides(goal)) {
+            result.collision_checks =
+                checker_.checksPerformed() - checks_before;
+            return result;
+        }
+
+        auto attach = [&](const ArmConfig &q) {
+            std::uint32_t id = graph.addNode();
+            configs.push_back(q);
+            // Candidate connections: nearest roadmap nodes by L2.
+            std::vector<std::pair<double, std::uint32_t>> order;
+            order.reserve(configs_.size());
+            for (std::size_t i = 0; i < configs_.size(); ++i) {
+                order.emplace_back(
+                    ConfigSpace::squaredDistance(q, configs_[i]),
+                    static_cast<std::uint32_t>(i));
+            }
+            std::sort(order.begin(), order.end());
+            std::size_t connected = 0;
+            for (const auto &[d2, node] : order) {
+                if (connected >= config_.k_neighbors)
+                    break;
+                double dist = std::sqrt(d2);
+                if (dist > config_.max_edge_length * 2.0)
+                    break;
+                if (!checker_.motionCollides(q, configs_[node],
+                                             config_.collision_step)) {
+                    graph.addEdge(id, node, dist);
+                    ++connected;
+                }
+            }
+            return id;
+        };
+        start_id = attach(start);
+        goal_id = attach(goal);
+    }
+
+    // Online graph search with the L2-to-goal heuristic; these distance
+    // evaluations are prm's "frequent L2-norm calculations".
+    GraphSearchResult search = graphAStar(
+        graph, start_id, goal_id,
+        [&](std::uint32_t node) {
+            return ConfigSpace::distance(configs[node], goal);
+        },
+        profiler);
+    last_heuristic_evals_ = search.heuristic_evals;
+
+    result.collision_checks = checker_.checksPerformed() - checks_before;
+    result.tree_size = graph.size();
+    if (!search.found)
+        return result;
+
+    for (std::uint32_t node : search.path)
+        result.path.push_back(configs[node]);
+    result.cost = search.cost;
+    result.found = true;
+    return result;
+}
+
+} // namespace rtr

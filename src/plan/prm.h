@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Probabilistic RoadMap planner (kernel 07.prm).
+ *
+ * Offline phase: sample collision-free configurations and connect
+ * near neighbors into a roadmap (paper Fig. 8-(b)). Online phase:
+ * connect start/goal into the roadmap and A* it with the L2 heuristic.
+ * Only the online phase is on the robot's critical path.
+ */
+
+#ifndef RTR_PLAN_PRM_H
+#define RTR_PLAN_PRM_H
+
+#include <cstdint>
+
+#include "arm/workspace.h"
+#include "plan/plan_types.h"
+#include "search/graph_search.h"
+#include "util/profiler.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+/** PRM tuning knobs. */
+struct PrmConfig
+{
+    /** Roadmap size (collision-free samples). */
+    std::size_t n_samples = 2000;
+    /** Connect each sample to up to this many nearest roadmap nodes. */
+    std::size_t k_neighbors = 10;
+    /** Maximum joint-space length of a roadmap edge (radians, L2). */
+    double max_edge_length = 1.0;
+    /** Interpolation resolution of motion collision checks (radians). */
+    double collision_step = 0.05;
+};
+
+/** Offline roadmap statistics. */
+struct PrmBuildStats
+{
+    /** Samples drawn (including rejected colliding ones). */
+    std::size_t samples_drawn = 0;
+    /** Nodes kept in the roadmap. */
+    std::size_t nodes = 0;
+    /** Undirected edges in the roadmap. */
+    std::size_t edges = 0;
+    /** Configuration collision checks spent building. */
+    std::size_t collision_checks = 0;
+};
+
+/** PRM planner: build once offline, query many times online. */
+class PrmPlanner
+{
+  public:
+    /** Referents must outlive the planner. */
+    PrmPlanner(const ConfigSpace &space,
+               const ArmCollisionChecker &checker,
+               const PrmConfig &config = {});
+
+    /**
+     * Offline phase: sample and connect the roadmap.
+     *
+     * @param profiler Optional; accumulates "sampling" and
+     *        "offline-connect" phases.
+     */
+    PrmBuildStats build(Rng &rng, PhaseProfiler *profiler = nullptr);
+
+    /**
+     * Online phase: connect start and goal to the roadmap and search.
+     *
+     * @param profiler Optional; accumulates "online-connect" and
+     *        "graph-search" phases.
+     */
+    MotionPlan query(const ArmConfig &start, const ArmConfig &goal,
+                     PhaseProfiler *profiler = nullptr) const;
+
+    /** Roadmap node count (0 before build()). */
+    std::size_t roadmapSize() const { return configs_.size(); }
+
+    /** L2-norm evaluations during the last query's graph search. */
+    std::size_t lastHeuristicEvals() const { return last_heuristic_evals_; }
+
+  private:
+    /** Connect a config to its k nearest roadmap nodes; returns edges. */
+    std::size_t connectNode(std::uint32_t id, ExplicitGraph &graph) const;
+
+    const ConfigSpace &space_;
+    const ArmCollisionChecker &checker_;
+    PrmConfig config_;
+
+    std::vector<ArmConfig> configs_;
+    ExplicitGraph graph_;
+    mutable std::size_t last_heuristic_evals_ = 0;
+};
+
+} // namespace rtr
+
+#endif // RTR_PLAN_PRM_H

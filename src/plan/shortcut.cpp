@@ -1,0 +1,41 @@
+#include "plan/shortcut.h"
+
+namespace rtr {
+
+ShortcutStats
+shortcutPath(std::vector<ArmConfig> &path,
+             const ArmCollisionChecker &checker,
+             const ShortcutConfig &config, Rng &rng,
+             PhaseProfiler *profiler)
+{
+    ScopedPhase phase(profiler, "shortcut");
+    ShortcutStats stats;
+    stats.cost_before = pathCost(path);
+    stats.cost_after = stats.cost_before;
+    if (path.size() < 3)
+        return stats;
+
+    std::size_t checks_before = checker.checksPerformed();
+    for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+        if (path.size() < 3)
+            break;
+        // Pick i < j with at least one waypoint between them.
+        std::size_t i = rng.index(path.size() - 2);
+        std::size_t j =
+            i + 2 + rng.index(path.size() - i - 2);
+
+        // Triangle inequality: the direct edge can only help; apply it
+        // when it is collision-free.
+        if (!checker.motionCollides(path[i], path[j],
+                                    config.collision_step)) {
+            path.erase(path.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       path.begin() + static_cast<std::ptrdiff_t>(j));
+            ++stats.shortcuts_applied;
+        }
+    }
+    stats.collision_checks = checker.checksPerformed() - checks_before;
+    stats.cost_after = pathCost(path);
+    return stats;
+}
+
+} // namespace rtr

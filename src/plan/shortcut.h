@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Path shortcutting post-processor (kernel 10.rrtpp).
+ *
+ * Iterates over the waypoints of a path and splices out intermediate
+ * nodes whenever two waypoints can be connected directly without
+ * collision (paper Fig. 12, triangle inequality), trading a little
+ * post-processing time for much of RRT*'s path-quality gain.
+ */
+
+#ifndef RTR_PLAN_SHORTCUT_H
+#define RTR_PLAN_SHORTCUT_H
+
+#include "arm/workspace.h"
+#include "plan/plan_types.h"
+#include "util/profiler.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+/** Shortcut post-processing knobs. */
+struct ShortcutConfig
+{
+    /** Random shortcut attempts. */
+    std::size_t iterations = 200;
+    /** Interpolation resolution of motion collision checks (radians). */
+    double collision_step = 0.05;
+};
+
+/** Statistics of a shortcut pass. */
+struct ShortcutStats
+{
+    /** Path cost before post-processing. */
+    double cost_before = 0.0;
+    /** Path cost after post-processing. */
+    double cost_after = 0.0;
+    /** Shortcuts actually applied. */
+    std::size_t shortcuts_applied = 0;
+    /** Collision checks spent post-processing. */
+    std::size_t collision_checks = 0;
+};
+
+/**
+ * Shortcut a waypoint path in place.
+ *
+ * Randomly picks waypoint pairs and splices the intermediate waypoints
+ * out when the direct motion is collision-free. Deterministic given the
+ * Rng seed.
+ *
+ * @param profiler Optional; the pass is one "shortcut" phase.
+ */
+ShortcutStats shortcutPath(std::vector<ArmConfig> &path,
+                           const ArmCollisionChecker &checker,
+                           const ShortcutConfig &config, Rng &rng,
+                           PhaseProfiler *profiler = nullptr);
+
+} // namespace rtr
+
+#endif // RTR_PLAN_SHORTCUT_H

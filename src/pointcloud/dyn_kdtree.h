@@ -1,0 +1,175 @@
+/**
+ * @file
+ * k-d tree with runtime dimensionality.
+ *
+ * The arm planners' DoF is a command-line parameter, so their
+ * joint-space nearest-neighbor structure cannot fix the dimension at
+ * compile time like KdTree<Dim>. Points are stored in one flat arena
+ * for locality.
+ */
+
+#ifndef RTR_POINTCLOUD_DYN_KDTREE_H
+#define RTR_POINTCLOUD_DYN_KDTREE_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "pointcloud/kdtree.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+/** k-d tree over points in R^dim (dim fixed at construction). */
+class DynKdTree
+{
+  public:
+    /** @param dim Dimensionality of all stored points. */
+    explicit DynKdTree(std::size_t dim) : dim_(dim)
+    {
+        RTR_ASSERT(dim >= 1, "kd-tree dimension must be >= 1");
+    }
+
+    std::size_t size() const { return nodes_.size(); }
+    bool empty() const { return nodes_.empty(); }
+    std::size_t dim() const { return dim_; }
+
+    /** Remove all points. */
+    void
+    clear()
+    {
+        nodes_.clear();
+        coords_.clear();
+        root_ = kNull;
+    }
+
+    /** Insert a point (length dim()) with a payload id. */
+    void
+    insert(const std::vector<double> &p, std::uint32_t id)
+    {
+        RTR_ASSERT(p.size() == dim_, "point dimension mismatch");
+        std::int32_t node = allocNode(p, id);
+        if (root_ == kNull) {
+            root_ = node;
+            return;
+        }
+        std::int32_t cur = root_;
+        std::size_t axis = 0;
+        while (true) {
+            Node &n = nodes_[static_cast<std::size_t>(cur)];
+            bool go_left = p[axis] < coord(cur, axis);
+            std::int32_t &child = go_left ? n.left : n.right;
+            if (child == kNull) {
+                child = node;
+                return;
+            }
+            cur = child;
+            axis = (axis + 1) % dim_;
+        }
+    }
+
+    /** Nearest stored point to the query; tree must be non-empty. */
+    KdHit
+    nearest(const std::vector<double> &query) const
+    {
+        RTR_ASSERT(!empty(), "nearest() on empty kd-tree");
+        KdHit best;
+        nearestRec(root_, query.data(), 0, best);
+        return best;
+    }
+
+    /** All stored points within the radius of the query. */
+    std::vector<KdHit>
+    radiusSearch(const std::vector<double> &query, double radius) const
+    {
+        std::vector<KdHit> hits;
+        if (!empty())
+            radiusRec(root_, query.data(), 0, radius * radius, hits);
+        return hits;
+    }
+
+  private:
+    static constexpr std::int32_t kNull = -1;
+
+    struct Node
+    {
+        std::uint32_t id;
+        std::int32_t left = kNull;
+        std::int32_t right = kNull;
+    };
+
+    double
+    coord(std::int32_t node, std::size_t axis) const
+    {
+        return coords_[static_cast<std::size_t>(node) * dim_ + axis];
+    }
+
+    double
+    squaredDistance(std::int32_t node, const double *query) const
+    {
+        const double *p = &coords_[static_cast<std::size_t>(node) * dim_];
+        double sum = 0.0;
+        for (std::size_t d = 0; d < dim_; ++d) {
+            double diff = p[d] - query[d];
+            sum += diff * diff;
+        }
+        return sum;
+    }
+
+    std::int32_t
+    allocNode(const std::vector<double> &p, std::uint32_t id)
+    {
+        nodes_.push_back(Node{id, kNull, kNull});
+        coords_.insert(coords_.end(), p.begin(), p.end());
+        return static_cast<std::int32_t>(nodes_.size() - 1);
+    }
+
+    void
+    nearestRec(std::int32_t node, const double *query, std::size_t axis,
+               KdHit &best) const
+    {
+        if (node == kNull)
+            return;
+        const Node &n = nodes_[static_cast<std::size_t>(node)];
+        double d2 = squaredDistance(node, query);
+        if (d2 < best.dist2)
+            best = KdHit{n.id, d2};
+
+        double delta = query[axis] - coord(node, axis);
+        std::size_t next = (axis + 1) % dim_;
+        std::int32_t near_child = delta < 0 ? n.left : n.right;
+        std::int32_t far_child = delta < 0 ? n.right : n.left;
+        nearestRec(near_child, query, next, best);
+        if (delta * delta < best.dist2)
+            nearestRec(far_child, query, next, best);
+    }
+
+    void
+    radiusRec(std::int32_t node, const double *query, std::size_t axis,
+              double radius2, std::vector<KdHit> &hits) const
+    {
+        if (node == kNull)
+            return;
+        const Node &n = nodes_[static_cast<std::size_t>(node)];
+        double d2 = squaredDistance(node, query);
+        if (d2 <= radius2)
+            hits.push_back(KdHit{n.id, d2});
+
+        double delta = query[axis] - coord(node, axis);
+        std::size_t next = (axis + 1) % dim_;
+        std::int32_t near_child = delta < 0 ? n.left : n.right;
+        std::int32_t far_child = delta < 0 ? n.right : n.left;
+        radiusRec(near_child, query, next, radius2, hits);
+        if (delta * delta <= radius2)
+            radiusRec(far_child, query, next, radius2, hits);
+    }
+
+    std::size_t dim_;
+    std::vector<Node> nodes_;
+    std::vector<double> coords_;  // flat, dim_ per node
+    std::int32_t root_ = kNull;
+};
+
+} // namespace rtr
+
+#endif // RTR_POINTCLOUD_DYN_KDTREE_H

@@ -1,0 +1,130 @@
+#include "pointcloud/point_cloud.h"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "linalg/decomp.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+Vec3
+RigidTransform3::apply(const Vec3 &p) const
+{
+    const Matrix &r = rotation;
+    return {r(0, 0) * p.x + r(0, 1) * p.y + r(0, 2) * p.z + translation.x,
+            r(1, 0) * p.x + r(1, 1) * p.y + r(1, 2) * p.z + translation.y,
+            r(2, 0) * p.x + r(2, 1) * p.y + r(2, 2) * p.z + translation.z};
+}
+
+RigidTransform3
+RigidTransform3::compose(const RigidTransform3 &other) const
+{
+    RigidTransform3 out;
+    out.rotation = rotation * other.rotation;
+    out.translation = apply(other.translation);
+    return out;
+}
+
+RigidTransform3
+RigidTransform3::inverted() const
+{
+    RigidTransform3 out;
+    out.rotation = rotation.transposed();
+    Vec3 t = translation;
+    const Matrix &rt = out.rotation;
+    out.translation = {-(rt(0, 0) * t.x + rt(0, 1) * t.y + rt(0, 2) * t.z),
+                       -(rt(1, 0) * t.x + rt(1, 1) * t.y + rt(1, 2) * t.z),
+                       -(rt(2, 0) * t.x + rt(2, 1) * t.y + rt(2, 2) * t.z)};
+    return out;
+}
+
+void
+PointCloud::append(const PointCloud &other)
+{
+    points_.insert(points_.end(), other.points_.begin(),
+                   other.points_.end());
+}
+
+void
+PointCloud::transform(const RigidTransform3 &t)
+{
+    for (Vec3 &p : points_)
+        p = t.apply(p);
+}
+
+PointCloud
+PointCloud::transformed(const RigidTransform3 &t) const
+{
+    PointCloud out = *this;
+    out.transform(t);
+    return out;
+}
+
+Vec3
+PointCloud::centroid() const
+{
+    if (points_.empty())
+        return {};
+    Vec3 sum;
+    for (const Vec3 &p : points_)
+        sum += p;
+    return sum / static_cast<double>(points_.size());
+}
+
+PointCloud
+PointCloud::voxelDownsampled(double voxel_size) const
+{
+    RTR_ASSERT(voxel_size > 0.0, "voxel size must be positive");
+    struct Accum
+    {
+        Vec3 sum;
+        std::size_t count = 0;
+    };
+    std::unordered_map<std::uint64_t, Accum> voxels;
+    voxels.reserve(points_.size());
+    for (const Vec3 &p : points_) {
+        // 21-bit signed packing per axis; fine for clouds within +-10^6
+        // voxels of the origin.
+        auto quantize = [&](double v) {
+            return static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(std::floor(v / voxel_size)) +
+                       (1 << 20)) &
+                   0x1FFFFF;
+        };
+        std::uint64_t key = (quantize(p.x) << 42) | (quantize(p.y) << 21) |
+                            quantize(p.z);
+        Accum &a = voxels[key];
+        a.sum += p;
+        a.count += 1;
+    }
+    PointCloud out;
+    for (const auto &[key, a] : voxels)
+        out.add(a.sum / static_cast<double>(a.count));
+    return out;
+}
+
+Matrix
+rotationZ(double angle)
+{
+    double c = std::cos(angle), s = std::sin(angle);
+    return Matrix{{c, -s, 0.0}, {s, c, 0.0}, {0.0, 0.0, 1.0}};
+}
+
+Matrix
+rotationFromQuaternion(double w, double x, double y, double z)
+{
+    double n = std::sqrt(w * w + x * x + y * y + z * z);
+    RTR_ASSERT(n > 0.0, "zero quaternion");
+    w /= n;
+    x /= n;
+    y /= n;
+    z /= n;
+    return Matrix{
+        {1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)},
+        {2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)},
+        {2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)}};
+}
+
+} // namespace rtr

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * 3-D point cloud container.
+ */
+
+#ifndef RTR_POINTCLOUD_POINT_CLOUD_H
+#define RTR_POINTCLOUD_POINT_CLOUD_H
+
+#include <vector>
+
+#include "geom/vec3.h"
+#include "linalg/matrix.h"
+
+namespace rtr {
+
+/** A rigid-body transform: p' = R p + t. */
+struct RigidTransform3
+{
+    /** 3x3 rotation matrix (defaults to identity). */
+    Matrix rotation = Matrix::identity(3);
+    /** Translation vector. */
+    Vec3 translation;
+
+    /** Apply to one point. */
+    Vec3 apply(const Vec3 &p) const;
+
+    /** Composition: (this ∘ other)(p) = this(other(p)). */
+    RigidTransform3 compose(const RigidTransform3 &other) const;
+
+    /** Inverse transform. */
+    RigidTransform3 inverted() const;
+};
+
+/** A bag of 3-D points with rigid-transform helpers. */
+class PointCloud
+{
+  public:
+    PointCloud() = default;
+
+    /** Construct from points. */
+    explicit PointCloud(std::vector<Vec3> points)
+        : points_(std::move(points))
+    {
+    }
+
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+    /** Point access. */
+    const Vec3 &operator[](std::size_t i) const { return points_[i]; }
+    Vec3 &operator[](std::size_t i) { return points_[i]; }
+
+    const std::vector<Vec3> &points() const { return points_; }
+
+    /** Append a point. */
+    void add(const Vec3 &p) { points_.push_back(p); }
+
+    /** Append all points of another cloud. */
+    void append(const PointCloud &other);
+
+    /** In-place rigid transform of all points. */
+    void transform(const RigidTransform3 &t);
+
+    /** Transformed copy. */
+    PointCloud transformed(const RigidTransform3 &t) const;
+
+    /** Mean of all points (zero when empty). */
+    Vec3 centroid() const;
+
+    /**
+     * Downsample by keeping one representative (the centroid of the
+     * members) per voxel of the given size. Bounds the model cloud's
+     * growth during incremental reconstruction.
+     */
+    PointCloud voxelDownsampled(double voxel_size) const;
+
+  private:
+    std::vector<Vec3> points_;
+};
+
+/** Rotation matrix about the z axis. */
+Matrix rotationZ(double angle);
+
+/** Rotation matrix from a unit quaternion (w, x, y, z). */
+Matrix rotationFromQuaternion(double w, double x, double y, double z);
+
+} // namespace rtr
+
+#endif // RTR_POINTCLOUD_POINT_CLOUD_H

@@ -1,0 +1,163 @@
+#include "pointcloud/scene_gen.h"
+
+#include <cmath>
+
+#include "geom/angle.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+RigidTransform3
+CameraPose::worldFromCamera() const
+{
+    RigidTransform3 t;
+    t.rotation = rotationZ(yaw);
+    t.translation = position;
+    return t;
+}
+
+IndoorScene
+IndoorScene::livingRoom(std::uint64_t seed)
+{
+    IndoorScene scene;
+    scene.room_ = Aabb3{{0.0, 0.0, 0.0}, {8.0, 6.0, 3.0}};
+
+    Rng rng(seed);
+    // Furniture: a sofa, a table, shelves, and a couple of random boxes.
+    scene.furniture_.push_back(
+        Aabb3{{0.5, 1.0, 0.0}, {1.5, 4.0, 0.9}});           // sofa
+    scene.furniture_.push_back(
+        Aabb3{{3.0, 2.5, 0.0}, {4.5, 3.5, 0.75}});          // table
+    scene.furniture_.push_back(
+        Aabb3{{7.5, 0.5, 0.0}, {7.95, 3.0, 2.2}});          // shelf
+    for (int i = 0; i < 6; ++i) {
+        double x = rng.uniform(1.0, 6.5);
+        double y = rng.uniform(0.5, 5.0);
+        double w = rng.uniform(0.3, 1.0);
+        double d = rng.uniform(0.3, 1.0);
+        double h = rng.uniform(0.4, 1.8);
+        scene.furniture_.push_back(
+            Aabb3{{x, y, 0.0}, {x + w, y + d, h}});
+    }
+    // Wall-mounted features (shelves, frames, a doorway lintel): they
+    // protrude from the flat walls and pin down the tangential degrees
+    // of freedom that point-to-point ICP cannot constrain on bare
+    // planes.
+    for (int i = 0; i < 8; ++i) {
+        double h0 = rng.uniform(0.8, 2.2);
+        double len = rng.uniform(0.4, 1.5);
+        double depth = rng.uniform(0.08, 0.25);
+        int wall = static_cast<int>(rng.intRange(0, 3));
+        double along = rng.uniform(0.5, 5.0);
+        switch (wall) {
+          case 0:  // y = 0 wall
+            scene.furniture_.push_back(Aabb3{
+                {along, 0.0, h0}, {along + len, depth, h0 + 0.4}});
+            break;
+          case 1:  // y = max wall
+            scene.furniture_.push_back(Aabb3{
+                {along, 6.0 - depth, h0}, {along + len, 6.0, h0 + 0.4}});
+            break;
+          case 2:  // x = 0 wall
+            scene.furniture_.push_back(Aabb3{
+                {0.0, along, h0}, {depth, along + len, h0 + 0.4}});
+            break;
+          default:  // x = max wall
+            scene.furniture_.push_back(Aabb3{
+                {8.0 - depth, along, h0}, {8.0, along + len, h0 + 0.4}});
+            break;
+        }
+    }
+    return scene;
+}
+
+double
+IndoorScene::raycast(const Vec3 &origin, const Vec3 &dir,
+                     double max_range) const
+{
+    double best = max_range;
+
+    // Room shell: the ray exits the interior box at some t; that exit is
+    // the wall/floor/ceiling hit.
+    {
+        double t_exit = max_range;
+        const double o[3] = {origin.x, origin.y, origin.z};
+        const double d[3] = {dir.x, dir.y, dir.z};
+        const double lo[3] = {room_.lo.x, room_.lo.y, room_.lo.z};
+        const double hi[3] = {room_.hi.x, room_.hi.y, room_.hi.z};
+        for (int axis = 0; axis < 3; ++axis) {
+            if (d[axis] == 0.0)
+                continue;
+            double bound = d[axis] > 0.0 ? hi[axis] : lo[axis];
+            double t = (bound - o[axis]) / d[axis];
+            t_exit = std::min(t_exit, t);
+        }
+        if (t_exit >= 0.0)
+            best = std::min(best, t_exit);
+    }
+
+    for (const Aabb3 &box : furniture_) {
+        double t;
+        if (box.intersectRay(origin, dir, &t) && t < best)
+            best = t;
+    }
+    return best;
+}
+
+PointCloud
+simulateScan(const IndoorScene &scene, const CameraPose &pose,
+             const DepthCamera &camera, Rng &rng)
+{
+    PointCloud cloud;
+    RigidTransform3 world_from_cam = pose.worldFromCamera();
+    RigidTransform3 cam_from_world = world_from_cam.inverted();
+
+    for (int v = 0; v < camera.height; ++v) {
+        double pitch = -camera.v_fov / 2.0 +
+                       camera.v_fov * (v + 0.5) / camera.height;
+        for (int u = 0; u < camera.width; ++u) {
+            double azim = -camera.h_fov / 2.0 +
+                          camera.h_fov * (u + 0.5) / camera.width;
+            // Camera frame: +x forward, +y left, +z up.
+            Vec3 dir_cam{std::cos(pitch) * std::cos(azim),
+                         std::cos(pitch) * std::sin(azim),
+                         std::sin(pitch)};
+            Vec3 dir_world =
+                RigidTransform3{world_from_cam.rotation, Vec3{}}.apply(
+                    dir_cam);
+            double depth =
+                scene.raycast(pose.position, dir_world, camera.max_range);
+            if (depth >= camera.max_range)
+                continue;
+            depth += rng.normal(0.0, camera.noise_stddev);
+            Vec3 hit_world = pose.position + dir_world * depth;
+            cloud.add(cam_from_world.apply(hit_world));
+        }
+    }
+    return cloud;
+}
+
+std::vector<CameraPose>
+makeTrajectory(const IndoorScene &scene, int n_poses)
+{
+    RTR_ASSERT(n_poses >= 2, "trajectory needs >= 2 poses");
+    std::vector<CameraPose> poses;
+    Vec3 center = scene.room().center();
+    double rx = (scene.room().hi.x - scene.room().lo.x) * 0.22;
+    double ry = (scene.room().hi.y - scene.room().lo.y) * 0.22;
+
+    for (int i = 0; i < n_poses; ++i) {
+        // Small inter-frame motion, as in a real RGB-D stream: the
+        // whole sweep covers a modest arc regardless of frame count.
+        double phase = kTwoPi * i / n_poses * 0.12;
+        CameraPose pose;
+        pose.position = {center.x + rx * std::cos(phase),
+                         center.y + ry * std::sin(phase), 1.4};
+        // Look roughly outward, turning gently with the arc.
+        pose.yaw = phase * 2.0 + 0.3;
+        poses.push_back(pose);
+    }
+    return poses;
+}
+
+} // namespace rtr

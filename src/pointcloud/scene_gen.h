@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Synthetic indoor scene and depth-scan simulator.
+ *
+ * Stands in for the ICL-NUIM living_room RGB-D sequence used by 03.srec:
+ * a room shell with box furniture is ray-scanned from a sequence of
+ * camera poses, producing partially-overlapping point clouds with known
+ * ground-truth poses (so tests can verify that ICP recovers them).
+ */
+
+#ifndef RTR_POINTCLOUD_SCENE_GEN_H
+#define RTR_POINTCLOUD_SCENE_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "pointcloud/point_cloud.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+/** A camera pose: position plus yaw about the z (up) axis. */
+struct CameraPose
+{
+    Vec3 position;
+    double yaw = 0.0;
+
+    /** World-from-camera transform. */
+    RigidTransform3 worldFromCamera() const;
+};
+
+/** A rectangular room populated with box-shaped furniture. */
+class IndoorScene
+{
+  public:
+    /**
+     * Build the canonical living-room scene: a room of the given extent
+     * with deterministic, seed-controlled furniture boxes.
+     */
+    static IndoorScene livingRoom(std::uint64_t seed);
+
+    /** Room interior (camera and scan targets live inside it). */
+    const Aabb3 &room() const { return room_; }
+
+    /** Furniture boxes. */
+    const std::vector<Aabb3> &furniture() const { return furniture_; }
+
+    /**
+     * Distance from a ray origin (inside the room) to the first surface
+     * in the given direction: the nearest furniture hit or the room
+     * shell. Returns max_range when nothing is closer.
+     */
+    double raycast(const Vec3 &origin, const Vec3 &dir,
+                   double max_range) const;
+
+  private:
+    Aabb3 room_;
+    std::vector<Aabb3> furniture_;
+};
+
+/** Depth-camera intrinsics for scan simulation. */
+struct DepthCamera
+{
+    /** Horizontal field of view (radians). */
+    double h_fov = 1.9;
+    /** Vertical field of view (radians). */
+    double v_fov = 1.2;
+    /** Horizontal ray count. */
+    int width = 80;
+    /** Vertical ray count. */
+    int height = 60;
+    /** Maximum sensing range (world units). */
+    double max_range = 12.0;
+    /** Gaussian depth-noise standard deviation. */
+    double noise_stddev = 0.005;
+};
+
+/**
+ * Simulate one depth scan: rays through a pinhole grid, returning the
+ * hit points in the *camera* frame. Ground truth is the pose itself.
+ */
+PointCloud simulateScan(const IndoorScene &scene, const CameraPose &pose,
+                        const DepthCamera &camera, Rng &rng);
+
+/**
+ * A smooth camera trajectory through the room: @p n_poses poses along an
+ * ellipse with gently varying yaw, suitable for frame-to-frame ICP.
+ */
+std::vector<CameraPose> makeTrajectory(const IndoorScene &scene,
+                                       int n_poses);
+
+} // namespace rtr
+
+#endif // RTR_POINTCLOUD_SCENE_GEN_H

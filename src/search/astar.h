@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Generic (weighted) A* over implicit graphs.
+ *
+ * Shared by the symbolic planner and any search whose states are not
+ * dense integers. Dense grid searches use the specialized planners in
+ * grid_planner2d/3d.h instead.
+ */
+
+#ifndef RTR_SEARCH_ASTAR_H
+#define RTR_SEARCH_ASTAR_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "search/min_heap.h"
+
+namespace rtr {
+
+/** Statistics and result of a generic A* run. */
+template <typename State>
+struct AStarResult
+{
+    /** Whether a path to a goal state was found. */
+    bool found = false;
+    /** States from start to goal (empty when !found). */
+    std::vector<State> path;
+    /** Path cost (g-value of the goal). */
+    double cost = 0.0;
+    /** Number of expansions performed. */
+    std::size_t expanded = 0;
+    /** Number of successor states generated. */
+    std::size_t generated = 0;
+};
+
+/** Problem definition for the generic A*. */
+template <typename State>
+struct AStarProblem
+{
+    /** Append (successor, edge_cost) pairs of a state to @p out. */
+    std::function<void(const State &,
+                       std::vector<std::pair<State, double>> &)>
+        successors;
+    /** Admissible (or, with epsilon > 1, inflatable) goal estimate. */
+    std::function<double(const State &)> heuristic;
+    /** Goal predicate. */
+    std::function<bool(const State &)> isGoal;
+    /** Heuristic inflation (1 = A*, > 1 = Weighted A*). */
+    double epsilon = 1.0;
+    /** Safety cap on expansions (0 = unbounded). */
+    std::size_t max_expansions = 0;
+};
+
+/**
+ * Run (weighted) A* from @p start. States must be hashable and
+ * equality-comparable.
+ */
+template <typename State, typename Hash = std::hash<State>>
+AStarResult<State>
+astarSearch(const State &start, const AStarProblem<State> &problem)
+{
+    constexpr std::uint32_t kNoParent = 0xFFFFFFFF;
+    struct NodeInfo
+    {
+        double g = 0.0;
+        std::uint32_t parent = 0xFFFFFFFF;
+        bool closed = false;
+    };
+
+    AStarResult<State> result;
+
+    // States are interned into a dense id space as discovered.
+    std::vector<State> states;
+    std::unordered_map<State, std::uint32_t, Hash> ids;
+    std::vector<NodeInfo> info;
+    auto intern = [&](const State &s) -> std::uint32_t {
+        auto [it, inserted] =
+            ids.emplace(s, static_cast<std::uint32_t>(states.size()));
+        if (inserted) {
+            states.push_back(s);
+            info.push_back(NodeInfo{});
+        }
+        return it->second;
+    };
+
+    MinHeap<std::uint32_t> open;
+    std::uint32_t start_id = intern(start);
+    info[start_id].g = 0.0;
+    open.push(problem.epsilon * problem.heuristic(start), start_id);
+
+    std::vector<std::pair<State, double>> succ;
+    while (!open.empty()) {
+        auto [key, id] = open.pop();
+        if (info[id].closed)
+            continue;
+        info[id].closed = true;
+        ++result.expanded;
+        if (problem.max_expansions &&
+            result.expanded > problem.max_expansions)
+            return result;
+
+        if (problem.isGoal(states[id])) {
+            result.found = true;
+            result.cost = info[id].g;
+            // Reconstruct the path by walking parents.
+            std::vector<std::uint32_t> chain;
+            for (std::uint32_t cur = id; cur != kNoParent;
+                 cur = info[cur].parent)
+                chain.push_back(cur);
+            for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+                result.path.push_back(states[*it]);
+            return result;
+        }
+
+        succ.clear();
+        problem.successors(states[id], succ);
+        result.generated += succ.size();
+        double g = info[id].g;
+        for (const auto &[next, edge_cost] : succ) {
+            std::uint32_t next_id = intern(next);
+            NodeInfo &ni = info[next_id];
+            double candidate = g + edge_cost;
+            bool fresh = ni.parent == kNoParent && next_id != start_id;
+            if (fresh || (!ni.closed && candidate < ni.g)) {
+                ni.g = candidate;
+                ni.parent = id;
+                open.push(candidate +
+                              problem.epsilon *
+                                  problem.heuristic(states[next_id]),
+                          next_id);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace rtr
+
+#endif // RTR_SEARCH_ASTAR_H

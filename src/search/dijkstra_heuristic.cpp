@@ -1,0 +1,74 @@
+#include "search/dijkstra_heuristic.h"
+
+#include <cmath>
+
+#include "search/min_heap.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+DijkstraHeuristic::DijkstraHeuristic(const CostGrid2D &field,
+                                     const std::vector<Cell2> &sources,
+                                     PhaseProfiler *profiler)
+    : width_(field.width()),
+      height_(field.height()),
+      table_(static_cast<std::size_t>(field.width()) * field.height(),
+             kUnreachable)
+{
+    ScopedPhase phase(profiler, "heuristic");
+    RTR_ASSERT(!sources.empty(), "backward Dijkstra needs >= 1 source");
+
+    MinHeap<std::uint32_t> open;
+    auto index = [this](int x, int y) {
+        return static_cast<std::size_t>(y) * width_ + x;
+    };
+
+    for (const Cell2 &s : sources) {
+        if (s.x < 0 || s.x >= width_ || s.y < 0 || s.y >= height_)
+            continue;
+        if (!field.passable(s.x, s.y))
+            continue;
+        std::size_t id = index(s.x, s.y);
+        if (table_[id] > 0.0) {
+            table_[id] = 0.0;
+            open.push(0.0, static_cast<std::uint32_t>(id));
+        }
+    }
+
+    const double kSqrt2 = std::sqrt(2.0);
+    std::vector<std::uint8_t> closed(table_.size(), 0);
+    while (!open.empty()) {
+        auto [dist, id] = open.pop();
+        if (closed[id])
+            continue;
+        closed[id] = 1;
+        int x = static_cast<int>(id % width_);
+        int y = static_cast<int>(id / width_);
+        double from_cost = field.cost(x, y);
+
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                if (dx == 0 && dy == 0)
+                    continue;
+                int nx = x + dx, ny = y + dy;
+                if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_)
+                    continue;
+                if (!field.passable(nx, ny))
+                    continue;
+                std::size_t nid = index(nx, ny);
+                if (closed[nid])
+                    continue;
+                double step = (dx != 0 && dy != 0) ? kSqrt2 : 1.0;
+                double edge =
+                    0.5 * (from_cost + field.cost(nx, ny)) * step;
+                double candidate = dist + edge;
+                if (candidate < table_[nid]) {
+                    table_[nid] = candidate;
+                    open.push(candidate, static_cast<std::uint32_t>(nid));
+                }
+            }
+        }
+    }
+}
+
+} // namespace rtr

@@ -1,0 +1,72 @@
+#include "search/graph_search.h"
+
+#include <limits>
+
+#include "search/min_heap.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+std::size_t
+ExplicitGraph::edgeCount() const
+{
+    std::size_t half_edges = 0;
+    for (const auto &list : adjacency_)
+        half_edges += list.size();
+    return half_edges / 2;
+}
+
+GraphSearchResult
+graphAStar(const ExplicitGraph &graph, std::uint32_t start,
+           std::uint32_t goal,
+           const std::function<double(std::uint32_t)> &heuristic,
+           PhaseProfiler *profiler)
+{
+    ScopedPhase phase(profiler, "graph-search");
+    GraphSearchResult result;
+    RTR_ASSERT(start < graph.size() && goal < graph.size(),
+               "start/goal out of graph");
+
+    const double inf = std::numeric_limits<double>::max();
+    std::vector<double> g(graph.size(), inf);
+    std::vector<std::int64_t> parent(graph.size(), -1);
+    std::vector<std::uint8_t> closed(graph.size(), 0);
+
+    MinHeap<std::uint32_t> open;
+    g[start] = 0.0;
+    ++result.heuristic_evals;
+    open.push(heuristic(start), start);
+
+    while (!open.empty()) {
+        auto [key, id] = open.pop();
+        if (closed[id])
+            continue;
+        closed[id] = 1;
+        ++result.expanded;
+
+        if (id == goal) {
+            result.found = true;
+            result.cost = g[id];
+            std::vector<std::uint32_t> reversed;
+            for (std::int64_t cur = id; cur >= 0; cur = parent[static_cast<std::size_t>(cur)])
+                reversed.push_back(static_cast<std::uint32_t>(cur));
+            result.path.assign(reversed.rbegin(), reversed.rend());
+            return result;
+        }
+
+        for (const ExplicitGraph::Edge &edge : graph.neighbors(id)) {
+            if (closed[edge.to])
+                continue;
+            double candidate = g[id] + edge.cost;
+            if (candidate < g[edge.to]) {
+                g[edge.to] = candidate;
+                parent[edge.to] = id;
+                ++result.heuristic_evals;
+                open.push(candidate + heuristic(edge.to), edge.to);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace rtr

@@ -1,0 +1,144 @@
+#include "search/grid_planner2d.h"
+
+#include <cmath>
+#include <limits>
+
+#include "search/min_heap.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+namespace {
+
+constexpr double kSqrt2 = 1.41421356237309515;
+
+/** 8-connected move table: dx, dy, step length in cells. */
+struct Move
+{
+    int dx;
+    int dy;
+    double len;
+    double heading;
+};
+
+const Move kMoves[8] = {
+    {1, 0, 1.0, 0.0},
+    {-1, 0, 1.0, 3.14159265358979},
+    {0, 1, 1.0, 1.5707963267949},
+    {0, -1, 1.0, -1.5707963267949},
+    {1, 1, kSqrt2, 0.785398163397448},
+    {1, -1, kSqrt2, -0.785398163397448},
+    {-1, 1, kSqrt2, 2.35619449019234},
+    {-1, -1, kSqrt2, -2.35619449019234},
+};
+
+} // namespace
+
+GridPlanner2D::GridPlanner2D(const OccupancyGrid2D &grid,
+                             const RectFootprint *footprint)
+    : grid_(grid), footprint_(footprint)
+{
+}
+
+bool
+GridPlanner2D::stateValid(const Cell2 &cell, double heading) const
+{
+    if (!grid_.inBounds(cell.x, cell.y))
+        return false;
+    if (grid_.occupiedUnchecked(cell.x, cell.y))
+        return false;
+    if (!footprint_)
+        return true;
+    Vec2 center = grid_.cellCenter(cell);
+    return !footprint_->collides(grid_, Pose2{center.x, center.y, heading});
+}
+
+GridPlan2D
+GridPlanner2D::plan(const Cell2 &start, const Cell2 &goal, double epsilon,
+                    PhaseProfiler *profiler) const
+{
+    GridPlan2D result;
+    const int w = grid_.width();
+    const int h = grid_.height();
+    const double res = grid_.resolution();
+    auto index = [w](const Cell2 &c) {
+        return static_cast<std::size_t>(c.y) * w + c.x;
+    };
+
+    {
+        ScopedPhase phase(profiler, "collision");
+        result.collision_checks += 2;
+        if (!stateValid(start, 0.0) || !stateValid(goal, 0.0))
+            return result;
+    }
+
+    const double inf = std::numeric_limits<double>::max();
+    std::vector<double> g(static_cast<std::size_t>(w) * h, inf);
+    std::vector<std::int32_t> parent(static_cast<std::size_t>(w) * h, -1);
+    std::vector<std::uint8_t> closed(static_cast<std::size_t>(w) * h, 0);
+
+    auto heuristic = [&](const Cell2 &c) {
+        double dx = (c.x - goal.x) * res;
+        double dy = (c.y - goal.y) * res;
+        return std::sqrt(dx * dx + dy * dy);
+    };
+
+    MinHeap<std::uint32_t> open;
+    open.reserve(1024);
+    g[index(start)] = 0.0;
+    open.push(epsilon * heuristic(start),
+              static_cast<std::uint32_t>(index(start)));
+
+    while (!open.empty()) {
+        auto [key, id] = open.pop();
+        if (closed[id])
+            continue;
+        closed[id] = 1;
+        ++result.expanded;
+        Cell2 cell{static_cast<int>(id % w), static_cast<int>(id / w)};
+
+        if (cell == goal) {
+            result.found = true;
+            result.cost = g[id];
+            std::vector<Cell2> reversed;
+            for (std::int32_t cur = static_cast<std::int32_t>(id); cur >= 0;
+                 cur = parent[static_cast<std::size_t>(cur)]) {
+                reversed.push_back(Cell2{cur % w, cur / w});
+            }
+            result.path.assign(reversed.rbegin(), reversed.rend());
+            return result;
+        }
+
+        // Collision-validate all successors in one profiled batch: this
+        // is where pp2d spends most of its time.
+        bool valid[8];
+        {
+            ScopedPhase phase(profiler, "collision");
+            for (int m = 0; m < 8; ++m) {
+                Cell2 next{cell.x + kMoves[m].dx, cell.y + kMoves[m].dy};
+                ++result.collision_checks;
+                valid[m] = stateValid(next, kMoves[m].heading);
+            }
+        }
+
+        double g_cur = g[id];
+        for (int m = 0; m < 8; ++m) {
+            if (!valid[m])
+                continue;
+            Cell2 next{cell.x + kMoves[m].dx, cell.y + kMoves[m].dy};
+            std::size_t next_id = index(next);
+            if (closed[next_id])
+                continue;
+            double candidate = g_cur + kMoves[m].len * res;
+            if (candidate < g[next_id]) {
+                g[next_id] = candidate;
+                parent[next_id] = static_cast<std::int32_t>(id);
+                open.push(candidate + epsilon * heuristic(next),
+                          static_cast<std::uint32_t>(next_id));
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace rtr

@@ -1,0 +1,139 @@
+#include "search/grid_planner3d.h"
+
+#include <cmath>
+#include <limits>
+
+#include "search/min_heap.h"
+
+namespace rtr {
+
+namespace {
+
+/** 26-connected move table built once. */
+struct Move3
+{
+    int dx, dy, dz;
+    double len;
+};
+
+std::vector<Move3>
+makeMoves()
+{
+    std::vector<Move3> moves;
+    for (int dz = -1; dz <= 1; ++dz) {
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                if (dx == 0 && dy == 0 && dz == 0)
+                    continue;
+                moves.push_back(Move3{
+                    dx, dy, dz,
+                    std::sqrt(static_cast<double>(dx * dx + dy * dy +
+                                                  dz * dz))});
+            }
+        }
+    }
+    return moves;
+}
+
+const std::vector<Move3> kMoves = makeMoves();
+
+} // namespace
+
+GridPlanner3D::GridPlanner3D(const OccupancyGrid3D &grid) : grid_(grid) {}
+
+GridPlan3D
+GridPlanner3D::plan(const Cell3 &start, const Cell3 &goal, double epsilon,
+                    PhaseProfiler *profiler) const
+{
+    GridPlan3D result;
+    const int w = grid_.width();
+    const int h = grid_.height();
+    const int d = grid_.depth();
+    const double res = grid_.resolution();
+    auto index = [w, h](const Cell3 &c) {
+        return (static_cast<std::size_t>(c.z) * h + c.y) * w + c.x;
+    };
+
+    if (grid_.occupied(start.x, start.y, start.z) ||
+        grid_.occupied(goal.x, goal.y, goal.z))
+        return result;
+
+    const double inf = std::numeric_limits<double>::max();
+    const std::size_t n = static_cast<std::size_t>(w) * h * d;
+    std::vector<double> g(n, inf);
+    std::vector<std::int32_t> parent(n, -1);
+    std::vector<std::uint8_t> closed(n, 0);
+
+    auto heuristic = [&](const Cell3 &c) {
+        double dx = (c.x - goal.x) * res;
+        double dy = (c.y - goal.y) * res;
+        double dz = (c.z - goal.z) * res;
+        return std::sqrt(dx * dx + dy * dy + dz * dz);
+    };
+    auto unpack = [w, h](std::uint32_t id) {
+        int x = static_cast<int>(id % w);
+        int y = static_cast<int>((id / w) % h);
+        int z = static_cast<int>(id / (static_cast<std::size_t>(w) * h));
+        return Cell3{x, y, z};
+    };
+
+    MinHeap<std::uint32_t> open;
+    open.reserve(4096);
+    g[index(start)] = 0.0;
+    open.push(epsilon * heuristic(start),
+              static_cast<std::uint32_t>(index(start)));
+
+    while (!open.empty()) {
+        auto [key, id] = open.pop();
+        if (closed[id])
+            continue;
+        closed[id] = 1;
+        ++result.expanded;
+        Cell3 cell = unpack(id);
+
+        if (cell == goal) {
+            result.found = true;
+            result.cost = g[id];
+            std::vector<Cell3> reversed;
+            for (std::int32_t cur = static_cast<std::int32_t>(id); cur >= 0;
+                 cur = parent[static_cast<std::size_t>(cur)]) {
+                reversed.push_back(
+                    unpack(static_cast<std::uint32_t>(cur)));
+            }
+            result.path.assign(reversed.rbegin(), reversed.rend());
+            return result;
+        }
+
+        bool valid[26];
+        {
+            ScopedPhase phase(profiler, "collision");
+            for (std::size_t m = 0; m < kMoves.size(); ++m) {
+                Cell3 next{cell.x + kMoves[m].dx, cell.y + kMoves[m].dy,
+                           cell.z + kMoves[m].dz};
+                ++result.collision_checks;
+                valid[m] = !grid_.occupied(next.x, next.y, next.z);
+            }
+        }
+
+        double g_cur = g[id];
+        for (std::size_t m = 0; m < kMoves.size(); ++m) {
+            if (!valid[m])
+                continue;
+            Cell3 next{cell.x + kMoves[m].dx, cell.y + kMoves[m].dy,
+                       cell.z + kMoves[m].dz};
+            std::size_t next_id = index(next);
+            if (closed[next_id])
+                continue;
+            double candidate = g_cur + kMoves[m].len * res;
+            if (candidate < g[next_id]) {
+                g[next_id] = candidate;
+                parent[next_id] = static_cast<std::int32_t>(id);
+                open.push(candidate + epsilon * heuristic(next),
+                          static_cast<std::uint32_t>(next_id));
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace rtr

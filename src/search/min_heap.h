@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Binary min-heap with lazy deletion, the open list of every graph
+ * search in the suite.
+ *
+ * decrease-key is realized by pushing a duplicate entry and discarding
+ * stale pops against the caller's current g-values — the standard
+ * high-performance choice for A* open lists, trading a little heap slack
+ * for pointer-free array storage.
+ */
+
+#ifndef RTR_SEARCH_MIN_HEAP_H
+#define RTR_SEARCH_MIN_HEAP_H
+
+#include <cstdint>
+#include <vector>
+
+namespace rtr {
+
+/** Min-heap of (key, id) pairs ordered by key. */
+template <typename Id = std::uint32_t>
+class MinHeap
+{
+  public:
+    /** One heap entry. */
+    struct Entry
+    {
+        double key;
+        Id id;
+    };
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Reserve storage for n entries. */
+    void reserve(std::size_t n) { entries_.reserve(n); }
+
+    /** Drop everything. */
+    void clear() { entries_.clear(); }
+
+    /** Insert an entry (duplicates allowed; see class comment). */
+    void
+    push(double key, Id id)
+    {
+        entries_.push_back(Entry{key, id});
+        siftUp(entries_.size() - 1);
+    }
+
+    /** Smallest entry. */
+    const Entry &top() const { return entries_.front(); }
+
+    /** Remove and return the smallest entry. */
+    Entry
+    pop()
+    {
+        Entry out = entries_.front();
+        entries_.front() = entries_.back();
+        entries_.pop_back();
+        if (!entries_.empty())
+            siftDown(0);
+        return out;
+    }
+
+  private:
+    void
+    siftUp(std::size_t i)
+    {
+        Entry e = entries_[i];
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (entries_[parent].key <= e.key)
+                break;
+            entries_[i] = entries_[parent];
+            i = parent;
+        }
+        entries_[i] = e;
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        Entry e = entries_[i];
+        const std::size_t n = entries_.size();
+        while (true) {
+            std::size_t left = 2 * i + 1;
+            if (left >= n)
+                break;
+            std::size_t smallest = left;
+            std::size_t right = left + 1;
+            if (right < n && entries_[right].key < entries_[left].key)
+                smallest = right;
+            if (e.key <= entries_[smallest].key)
+                break;
+            entries_[i] = entries_[smallest];
+            i = smallest;
+        }
+        entries_[i] = e;
+    }
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace rtr
+
+#endif // RTR_SEARCH_MIN_HEAP_H

@@ -1,0 +1,130 @@
+#include "search/naive_astar.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtr {
+namespace baseline {
+
+namespace {
+
+/** Heap-allocated search node, linked to its parent. */
+struct Node
+{
+    Cell2 cell;
+    double g = 0.0;
+    double f = 0.0;
+    std::shared_ptr<Node> parent;
+};
+
+using NodeMap = std::map<std::pair<int, int>, std::shared_ptr<Node>>;
+
+/** Grid copied into nested vectors — the "large structure" that the
+ *  baseline then passes around by value. */
+using NaiveGrid = std::vector<std::vector<int>>;
+
+NaiveGrid
+toNested(const OccupancyGrid2D &grid)
+{
+    NaiveGrid nested(static_cast<std::size_t>(grid.height()),
+                     std::vector<int>(static_cast<std::size_t>(
+                         grid.width())));
+    for (int y = 0; y < grid.height(); ++y) {
+        for (int x = 0; x < grid.width(); ++x)
+            nested[static_cast<std::size_t>(y)]
+                  [static_cast<std::size_t>(x)] =
+                      grid.occupied(x, y) ? 1 : 0;
+    }
+    return nested;
+}
+
+// NOTE: by-value grid parameter is intentional — it reproduces the
+// performance bug the paper found in CppRobotics.
+bool
+cellFree(NaiveGrid grid, int x, int y)  // NOLINT: intentional copy
+{
+    if (y < 0 || y >= static_cast<int>(grid.size()))
+        return false;
+    if (x < 0 || x >= static_cast<int>(grid[0].size()))
+        return false;
+    return grid[static_cast<std::size_t>(y)]
+               [static_cast<std::size_t>(x)] == 0;
+}
+
+double
+heuristic(Cell2 a, Cell2 b)
+{
+    double dx = a.x - b.x, dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+} // namespace
+
+NaivePlan
+naiveAStar(const OccupancyGrid2D &grid, Cell2 start, Cell2 goal)
+{
+    NaivePlan result;
+    NaiveGrid nested = toNested(grid);
+    if (!cellFree(nested, start.x, start.y) ||
+        !cellFree(nested, goal.x, goal.y))
+        return result;
+
+    const int moves[8][2] = {{1, 0},  {-1, 0}, {0, 1},  {0, -1},
+                             {1, 1},  {1, -1}, {-1, 1}, {-1, -1}};
+
+    NodeMap open, closed;
+    auto start_node = std::make_shared<Node>();
+    start_node->cell = start;
+    start_node->f = heuristic(start, goal);
+    open[{start.x, start.y}] = start_node;
+
+    while (!open.empty()) {
+        // Linear scan of the open map for the smallest f (the
+        // educational implementations do exactly this).
+        auto best = open.begin();
+        for (auto it = open.begin(); it != open.end(); ++it) {
+            if (it->second->f < best->second->f)
+                best = it;
+        }
+        std::shared_ptr<Node> current = best->second;
+        open.erase(best);
+        closed[{current->cell.x, current->cell.y}] = current;
+        ++result.expanded;
+
+        if (current->cell == goal) {
+            result.found = true;
+            result.cost = current->g * grid.resolution();
+            for (std::shared_ptr<Node> walk = current; walk;
+                 walk = walk->parent)
+                result.path.push_back(walk->cell);
+            std::reverse(result.path.begin(), result.path.end());
+            return result;
+        }
+
+        for (const auto &move : moves) {
+            Cell2 next{current->cell.x + move[0],
+                       current->cell.y + move[1]};
+            if (!cellFree(nested, next.x, next.y))  // grid copied here
+                continue;
+            if (closed.count({next.x, next.y}))
+                continue;
+            double step =
+                (move[0] != 0 && move[1] != 0) ? std::sqrt(2.0) : 1.0;
+            double g = current->g + step;
+
+            auto it = open.find({next.x, next.y});
+            if (it == open.end() || g < it->second->g) {
+                auto node = std::make_shared<Node>();
+                node->cell = next;
+                node->g = g;
+                node->f = g + heuristic(next, goal);
+                node->parent = current;
+                open[{next.x, next.y}] = node;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace baseline
+} // namespace rtr

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Educational-style A* baseline for the paper's Fig. 21 comparison.
+ *
+ * The paper benchmarks its pp2d kernel against CppRobotics' a_star.cpp
+ * and attributes that library's slowness to "passing large data
+ * structures to functions needlessly by value instead of by reference".
+ * This baseline reproduces exactly that class of implementation:
+ * grid-as-nested-vectors passed by value through helper calls, a
+ * std::map-keyed open list, and per-node heap allocation — correct, and
+ * deliberately written the way educational code often is. It is the
+ * C-Rob column of bench_fig21_scaling.
+ */
+
+#ifndef RTR_SEARCH_NAIVE_ASTAR_H
+#define RTR_SEARCH_NAIVE_ASTAR_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "grid/occupancy_grid2d.h"
+
+namespace rtr {
+namespace baseline {
+
+/** Result of a naive plan (mirrors GridPlan2D loosely). */
+struct NaivePlan
+{
+    bool found = false;
+    std::vector<Cell2> path;
+    double cost = 0.0;
+    std::size_t expanded = 0;
+};
+
+/**
+ * Educational-style A* over an occupancy grid.
+ *
+ * Functionally equivalent to GridPlanner2D with a point robot; only
+ * the implementation style differs (see file comment).
+ */
+NaivePlan naiveAStar(const OccupancyGrid2D &grid, Cell2 start, Cell2 goal);
+
+} // namespace baseline
+} // namespace rtr
+
+#endif // RTR_SEARCH_NAIVE_ASTAR_H

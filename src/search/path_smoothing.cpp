@@ -1,0 +1,62 @@
+#include "search/path_smoothing.h"
+
+#include <cmath>
+
+namespace rtr {
+
+bool
+hasLineOfSight(const OccupancyGrid2D &grid, const Cell2 &a, const Cell2 &b)
+{
+    Vec2 from = grid.cellCenter(a);
+    Vec2 to = grid.cellCenter(b);
+    double dist = from.distanceTo(to);
+    if (dist < 1e-12)
+        return !grid.occupied(a.x, a.y);
+    int steps =
+        std::max(1, static_cast<int>(std::ceil(dist /
+                                               (grid.resolution() *
+                                                0.25))));
+    for (int s = 0; s <= steps; ++s) {
+        double t = static_cast<double>(s) / steps;
+        Vec2 p = from + (to - from) * t;
+        if (grid.occupiedWorld(p))
+            return false;
+    }
+    return true;
+}
+
+std::vector<Cell2>
+smoothGridPath(const OccupancyGrid2D &grid, const std::vector<Cell2> &path)
+{
+    if (path.size() < 3)
+        return path;
+    std::vector<Cell2> out;
+    out.push_back(path.front());
+    std::size_t i = 0;
+    while (i + 1 < path.size()) {
+        // Farthest visible successor of i.
+        std::size_t jump = i + 1;
+        for (std::size_t j = path.size() - 1; j > i + 1; --j) {
+            if (hasLineOfSight(grid, path[i], path[j])) {
+                jump = j;
+                break;
+            }
+        }
+        out.push_back(path[jump]);
+        i = jump;
+    }
+    return out;
+}
+
+double
+gridPathLength(const OccupancyGrid2D &grid, const std::vector<Cell2> &path)
+{
+    double length = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        length += grid.cellCenter(path[i])
+                      .distanceTo(grid.cellCenter(path[i + 1]));
+    }
+    return length;
+}
+
+} // namespace rtr

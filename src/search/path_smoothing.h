@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Line-of-sight smoothing for grid paths.
+ *
+ * The grid-planning analog of the rrtpp kernel's shortcut pass: A*
+ * paths zig-zag along the 8-connected lattice; greedily replacing
+ * waypoint runs with direct segments (when the straight line stays in
+ * free space) shortens and straightens them for the controller.
+ */
+
+#ifndef RTR_SEARCH_PATH_SMOOTHING_H
+#define RTR_SEARCH_PATH_SMOOTHING_H
+
+#include <vector>
+
+#include "grid/occupancy_grid2d.h"
+
+namespace rtr {
+
+/**
+ * Whether the straight segment between two cell centers stays in free
+ * cells (sampled at quarter-resolution steps).
+ */
+bool hasLineOfSight(const OccupancyGrid2D &grid, const Cell2 &a,
+                    const Cell2 &b);
+
+/**
+ * Greedy line-of-sight smoothing: from each kept waypoint, jump to the
+ * farthest later waypoint that is directly visible. Endpoints are
+ * preserved; the result's world-space length never exceeds the input's.
+ */
+std::vector<Cell2> smoothGridPath(const OccupancyGrid2D &grid,
+                                  const std::vector<Cell2> &path);
+
+/** World-space length of a cell path (segment lengths between centers). */
+double gridPathLength(const OccupancyGrid2D &grid,
+                      const std::vector<Cell2> &path);
+
+} // namespace rtr
+
+#endif // RTR_SEARCH_PATH_SMOOTHING_H

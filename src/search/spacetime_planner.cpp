@@ -1,0 +1,187 @@
+#include "search/spacetime_planner.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <memory>
+
+#include "search/dijkstra_heuristic.h"
+#include "search/min_heap.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+namespace {
+
+/** Node bookkeeping for the sparse space-time search. */
+struct NodeInfo
+{
+    double g = 0.0;
+    std::uint64_t parent = kNoParent;
+    bool closed = false;
+
+    static constexpr std::uint64_t kNoParent = ~0ULL;
+};
+
+} // namespace
+
+SpacetimePlan
+planMovingTarget(const MovingTargetProblem &problem, PhaseProfiler *profiler)
+{
+    SpacetimePlan result;
+    RTR_ASSERT(problem.field, "problem needs a cost field");
+    RTR_ASSERT(!problem.target_trajectory.empty(),
+               "problem needs a target trajectory");
+    const CostGrid2D &field = *problem.field;
+    const int w = field.width();
+    const int h = field.height();
+    const int horizon =
+        static_cast<int>(problem.target_trajectory.size()) +
+        problem.time_slack;
+
+    if (!field.passable(problem.robot_start.x, problem.robot_start.y))
+        return result;
+
+    // Environment-aware heuristic: backward Dijkstra seeded with every
+    // cell the target visits. (For the Euclidean ablation the table is
+    // skipped and a straight-line estimate is used instead.)
+    const bool use_dijkstra =
+        problem.heuristic ==
+        MovingTargetProblem::Heuristic::BackwardDijkstra;
+    std::unique_ptr<DijkstraHeuristic> dijkstra;
+    if (use_dijkstra) {
+        dijkstra = std::make_unique<DijkstraHeuristic>(
+            field, problem.target_trajectory, profiler);
+    }
+    const Cell2 target_end = problem.target_trajectory.back();
+    auto h_value = [&](const Cell2 &c) {
+        if (use_dijkstra)
+            return dijkstra->costToSource(c);
+        double dx = c.x - target_end.x;
+        double dy = c.y - target_end.y;
+        return std::sqrt(dx * dx + dy * dy);
+    };
+
+    auto target_at = [&](int t) {
+        const auto &traj = problem.target_trajectory;
+        return t < static_cast<int>(traj.size()) ? traj[static_cast<std::size_t>(t)]
+                                                 : traj.back();
+    };
+    auto pack = [w, h](const Cell2 &c, int t) {
+        return (static_cast<std::uint64_t>(t) * h + c.y) * w + c.x;
+    };
+    auto unpack = [w, h](std::uint64_t key) {
+        int x = static_cast<int>(key % w);
+        int y = static_cast<int>((key / w) % h);
+        int t = static_cast<int>(key / (static_cast<std::uint64_t>(w) * h));
+        return SpacetimeState{Cell2{x, y}, t};
+    };
+
+    ScopedPhase search_phase(profiler, "graph-search");
+
+    std::unordered_map<std::uint64_t, NodeInfo> info;
+    MinHeap<std::uint64_t> open;
+
+    const double kSqrt2 = std::sqrt(2.0);
+    std::uint64_t start_key = pack(problem.robot_start, 0);
+    info[start_key] = NodeInfo{0.0, NodeInfo::kNoParent, false};
+    open.push(problem.epsilon *
+                  h_value(problem.robot_start),
+              start_key);
+
+    while (!open.empty()) {
+        auto [key, node_key] = open.pop();
+        NodeInfo &node = info[node_key];
+        if (node.closed)
+            continue;
+        node.closed = true;
+        ++result.expanded;
+
+        SpacetimeState state = unpack(node_key);
+        if (state.cell == target_at(state.time)) {
+            result.found = true;
+            result.cost = node.g;
+            result.catch_time = state.time;
+            std::vector<SpacetimeState> reversed;
+            for (std::uint64_t cur = node_key;
+                 cur != NodeInfo::kNoParent;
+                 cur = info[cur].parent) {
+                reversed.push_back(unpack(cur));
+            }
+            result.path.assign(reversed.rbegin(), reversed.rend());
+            return result;
+        }
+        if (state.time >= horizon)
+            continue;
+
+        double from_cost = field.cost(state.cell.x, state.cell.y);
+        double g_cur = node.g;
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                int nx = state.cell.x + dx;
+                int ny = state.cell.y + dy;
+                if (!field.passable(nx, ny))
+                    continue;
+                double step =
+                    (dx != 0 && dy != 0) ? kSqrt2 : (dx || dy) ? 1.0 : 1.0;
+                double edge = 0.5 * (from_cost + field.cost(nx, ny)) * step;
+                std::uint64_t next_key =
+                    pack(Cell2{nx, ny}, state.time + 1);
+                auto [it, fresh] = info.emplace(next_key, NodeInfo{});
+                NodeInfo &ni = it->second;
+                double candidate = g_cur + edge;
+                if (fresh || (!ni.closed && candidate < ni.g)) {
+                    ni.g = candidate;
+                    ni.parent = node_key;
+                    open.push(candidate +
+                                  problem.epsilon *
+                                      h_value(Cell2{nx, ny}),
+                              next_key);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<Cell2>
+makeTargetTrajectory(const CostGrid2D &field, const Cell2 &start, int length,
+                     std::uint64_t seed)
+{
+    RTR_ASSERT(field.passable(start.x, start.y),
+               "target start must be passable");
+    std::vector<Cell2> traj{start};
+    Rng rng(seed);
+    Cell2 cur = start;
+    // Persistent wander direction with occasional turns; fall back to
+    // any passable neighbor when blocked.
+    int dir_x = 1, dir_y = 0;
+    for (int t = 1; t < length; ++t) {
+        if (rng.chance(0.15)) {
+            int turn = static_cast<int>(rng.intRange(0, 3));
+            dir_x = (turn == 0) - (turn == 1);
+            dir_y = (turn == 2) - (turn == 3);
+        }
+        Cell2 next{cur.x + dir_x, cur.y + dir_y};
+        if (!field.passable(next.x, next.y)) {
+            bool moved = false;
+            for (int attempt = 0; attempt < 8 && !moved; ++attempt) {
+                int dx = static_cast<int>(rng.intRange(-1, 1));
+                int dy = static_cast<int>(rng.intRange(-1, 1));
+                if (field.passable(cur.x + dx, cur.y + dy)) {
+                    next = Cell2{cur.x + dx, cur.y + dy};
+                    dir_x = dx;
+                    dir_y = dy;
+                    moved = true;
+                }
+            }
+            if (!moved)
+                next = cur;  // trapped: wait in place
+        }
+        cur = next;
+        traj.push_back(cur);
+    }
+    return traj;
+}
+
+} // namespace rtr

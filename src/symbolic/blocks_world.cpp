@@ -1,0 +1,109 @@
+#include "symbolic/blocks_world.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rtr {
+
+namespace {
+
+/**
+ * Random stacking: a permutation of blocks cut into stacks. Returns,
+ * for each block index, the name of what it sits on.
+ */
+std::vector<std::string>
+randomStacking(const std::vector<std::string> &blocks, Rng &rng)
+{
+    std::vector<std::size_t> perm(blocks.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        perm[i] = i;
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+
+    std::vector<std::string> under(blocks.size(), "Table");
+    for (std::size_t i = 1; i < perm.size(); ++i) {
+        // With probability 0.6, continue the current stack.
+        if (rng.chance(0.6))
+            under[perm[i]] = blocks[perm[i - 1]];
+    }
+    return under;
+}
+
+/** Atoms of a stacking: On(...) for every block, Clear(...) for tops. */
+std::vector<Atom>
+stackingAtoms(const std::vector<std::string> &blocks,
+              const std::vector<std::string> &under, bool with_clear)
+{
+    std::vector<Atom> atoms;
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+        atoms.push_back(makeAtom("On", {blocks[i], under[i]}));
+    if (with_clear) {
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+            bool covered = false;
+            for (std::size_t j = 0; j < blocks.size(); ++j)
+                covered = covered || under[j] == blocks[i];
+            if (!covered)
+                atoms.push_back(makeAtom("Clear", {blocks[i]}));
+        }
+    }
+    return atoms;
+}
+
+} // namespace
+
+SymbolicProblem
+makeBlocksWorld(int n_blocks, std::uint64_t seed)
+{
+    RTR_ASSERT(n_blocks >= 2, "blocks world needs >= 2 blocks");
+    SymbolicProblem problem;
+    problem.name = "blocks-world-" + std::to_string(n_blocks);
+
+    std::vector<std::string> blocks;
+    for (int i = 1; i <= n_blocks; ++i)
+        blocks.push_back("B" + std::to_string(i));
+    problem.symbols = blocks;
+    problem.symbols.push_back("Table");
+
+    std::vector<std::string> from_anywhere = blocks;
+    from_anywhere.push_back("Table");
+
+    // Move(b, x, y): move block b from x (block or table) onto block y.
+    ActionSchema move;
+    move.name = "Move";
+    move.params = {"b", "x", "y"};
+    move.param_domains = {blocks, from_anywhere, blocks};
+    move.distinct = {{0, 1}, {0, 2}, {1, 2}};
+    move.pre_pos = {{"On", {0, 1}}, {"Clear", {0}}, {"Clear", {2}}};
+    move.eff_add = {{"On", {0, 2}}, {"Clear", {1}}};
+    move.eff_del = {{"On", {0, 1}}, {"Clear", {2}}};
+    problem.schemas.push_back(move);
+
+    // MoveToTable(b, x): move block b from block x down to the table.
+    ActionSchema to_table;
+    to_table.name = "MoveToTable";
+    to_table.params = {"b", "x"};
+    to_table.param_domains = {blocks, blocks};
+    to_table.distinct = {{0, 1}};
+    to_table.constants = {"Table"};
+    to_table.pre_pos = {{"On", {0, 1}}, {"Clear", {0}}};
+    to_table.eff_add = {{"On", {0, ~0}}, {"Clear", {1}}};
+    to_table.eff_del = {{"On", {0, 1}}};
+    problem.schemas.push_back(to_table);
+
+    Rng rng(seed);
+    std::vector<std::string> init_under = randomStacking(blocks, rng);
+    std::vector<std::string> goal_under = randomStacking(blocks, rng);
+    int guard = 0;
+    while (goal_under == init_under && guard++ < 64)
+        goal_under = randomStacking(blocks, rng);
+    RTR_ASSERT(goal_under != init_under,
+               "could not generate distinct goal stacking");
+
+    problem.initial =
+        SymbolicState(stackingAtoms(blocks, init_under, true));
+    problem.goal = stackingAtoms(blocks, goal_under, false);
+    return problem;
+}
+
+} // namespace rtr

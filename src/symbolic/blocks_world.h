@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Blocks-world problem builder (kernel 11.sym-blkw, paper Fig. 13).
+ */
+
+#ifndef RTR_SYMBOLIC_BLOCKS_WORLD_H
+#define RTR_SYMBOLIC_BLOCKS_WORLD_H
+
+#include <cstdint>
+
+#include "symbolic/domain.h"
+
+namespace rtr {
+
+/**
+ * Build an n-block blocks-world instance with seed-controlled random
+ * initial and goal stackings (guaranteed to differ).
+ *
+ * Blocks are named "B1".."Bn"; the table symbol is "Table". Actions are
+ * Move(b, x, y) between blocks and MoveToTable(b, x), in the style of
+ * the paper's Fig. 13 symbolic description.
+ */
+SymbolicProblem makeBlocksWorld(int n_blocks, std::uint64_t seed);
+
+} // namespace rtr
+
+#endif // RTR_SYMBOLIC_BLOCKS_WORLD_H

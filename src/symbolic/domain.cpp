@@ -1,0 +1,103 @@
+#include "symbolic/domain.h"
+
+#include "util/logging.h"
+
+namespace rtr {
+
+namespace {
+
+/** Instantiate one atom template under a parameter binding. */
+Atom
+instantiate(const AtomTemplate &tmpl,
+            const std::vector<std::string> &binding,
+            const std::vector<std::string> &constants)
+{
+    std::vector<std::string> args;
+    args.reserve(tmpl.args.size());
+    for (int slot : tmpl.args) {
+        if (slot >= 0) {
+            RTR_ASSERT(static_cast<std::size_t>(slot) < binding.size(),
+                       "schema arg slot out of range");
+            args.push_back(binding[static_cast<std::size_t>(slot)]);
+        } else {
+            std::size_t idx = static_cast<std::size_t>(~slot);
+            RTR_ASSERT(idx < constants.size(),
+                       "schema constant slot out of range");
+            args.push_back(constants[idx]);
+        }
+    }
+    return makeAtom(tmpl.predicate, args);
+}
+
+/** Recursive enumeration of parameter bindings. */
+void
+enumerate(const ActionSchema &schema,
+          const std::vector<std::string> &symbols, std::size_t param,
+          std::vector<std::string> &binding,
+          std::vector<GroundAction> &out)
+{
+    if (param == schema.params.size()) {
+        GroundAction action;
+        action.name = makeAtom(schema.name, binding);
+        for (const AtomTemplate &t : schema.pre_pos)
+            action.pre_pos.push_back(
+                instantiate(t, binding, schema.constants));
+        for (const AtomTemplate &t : schema.pre_neg)
+            action.pre_neg.push_back(
+                instantiate(t, binding, schema.constants));
+        for (const AtomTemplate &t : schema.eff_add)
+            action.eff_add.push_back(
+                instantiate(t, binding, schema.constants));
+        for (const AtomTemplate &t : schema.eff_del)
+            action.eff_del.push_back(
+                instantiate(t, binding, schema.constants));
+        out.push_back(std::move(action));
+        return;
+    }
+
+    const std::vector<std::string> &candidates =
+        (param < schema.param_domains.size() &&
+         !schema.param_domains[param].empty())
+            ? schema.param_domains[param]
+            : symbols;
+    for (const std::string &symbol : candidates) {
+        bool ok = true;
+        for (const auto &[a, b] : schema.distinct) {
+            // Enforce constraints between this parameter and any
+            // already-bound one.
+            std::size_t other;
+            if (a == param) {
+                other = b;
+            } else if (b == param) {
+                other = a;
+            } else {
+                continue;
+            }
+            if (other < param && binding[other] == symbol) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+        binding.push_back(symbol);
+        enumerate(schema, symbols, param + 1, binding, out);
+        binding.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<GroundAction>
+groundActions(const SymbolicProblem &problem)
+{
+    std::vector<GroundAction> actions;
+    for (const ActionSchema &schema : problem.schemas) {
+        std::vector<std::string> binding;
+        binding.reserve(schema.params.size());
+        enumerate(schema, problem.symbols, 0, binding, actions);
+    }
+    return actions;
+}
+
+} // namespace rtr

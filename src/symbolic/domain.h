@@ -1,0 +1,103 @@
+/**
+ * @file
+ * STRIPS-style domains: action schemas, grounding, ground actions.
+ *
+ * Mirrors the paper's Fig. 13/14 problem descriptions: a domain lists
+ * symbols, an initial state, goal conditions, and parameterized actions
+ * with preconditions and effects; grounding instantiates every schema
+ * over the symbol set.
+ */
+
+#ifndef RTR_SYMBOLIC_DOMAIN_H
+#define RTR_SYMBOLIC_DOMAIN_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "symbolic/state.h"
+
+namespace rtr {
+
+/**
+ * An atom template inside a schema: predicate plus argument slots.
+ * An argument is either a parameter index (>= 0) or, when negative,
+ * ~index into the constants table.
+ */
+struct AtomTemplate
+{
+    std::string predicate;
+    std::vector<int> args;
+};
+
+/** A parameterized action schema. */
+struct ActionSchema
+{
+    std::string name;
+    /** Parameter names (documentation only; arity = size). */
+    std::vector<std::string> params;
+    /** Per-parameter allowed symbols (empty list = any symbol). */
+    std::vector<std::vector<std::string>> param_domains;
+    /** Pairs of parameter indices that must bind distinct symbols. */
+    std::vector<std::pair<std::size_t, std::size_t>> distinct;
+    /** Positive preconditions. */
+    std::vector<AtomTemplate> pre_pos;
+    /** Negative preconditions. */
+    std::vector<AtomTemplate> pre_neg;
+    /** Add effects. */
+    std::vector<AtomTemplate> eff_add;
+    /** Delete effects. */
+    std::vector<AtomTemplate> eff_del;
+    /** Constants referenced by negative arg slots. */
+    std::vector<std::string> constants;
+};
+
+/** A fully-instantiated action. */
+struct GroundAction
+{
+    /** Canonical name, e.g. "Move(A,B,Table)". */
+    std::string name;
+    std::vector<Atom> pre_pos;
+    std::vector<Atom> pre_neg;
+    std::vector<Atom> eff_add;
+    std::vector<Atom> eff_del;
+
+    /** Whether the action is applicable in a state. */
+    bool
+    applicable(const SymbolicState &state) const
+    {
+        return state.containsAll(pre_pos) && state.containsNone(pre_neg);
+    }
+
+    /** Successor state (caller must have checked applicability). */
+    SymbolicState
+    apply(const SymbolicState &state) const
+    {
+        return state.apply(eff_add, eff_del);
+    }
+};
+
+/** A complete planning problem. */
+struct SymbolicProblem
+{
+    /** Problem name (for reports). */
+    std::string name;
+    /** Object symbols. */
+    std::vector<std::string> symbols;
+    /** Action schemas. */
+    std::vector<ActionSchema> schemas;
+    /** Initial state. */
+    SymbolicState initial;
+    /** Atoms that must hold in a goal state. */
+    std::vector<Atom> goal;
+};
+
+/**
+ * Instantiate every schema over the problem's symbols, honoring
+ * param_domains and distinct constraints.
+ */
+std::vector<GroundAction> groundActions(const SymbolicProblem &problem);
+
+} // namespace rtr
+
+#endif // RTR_SYMBOLIC_DOMAIN_H

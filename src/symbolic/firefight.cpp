@@ -1,0 +1,154 @@
+#include "symbolic/firefight.h"
+
+#include "util/logging.h"
+
+namespace rtr {
+
+SymbolicProblem
+makeFirefight(int n_waypoints)
+{
+    RTR_ASSERT(n_waypoints >= 2, "firefight needs >= 2 waypoints");
+    SymbolicProblem problem;
+    problem.name = "firefight-" + std::to_string(n_waypoints);
+
+    // Locations: waypoints L1..Ln, the water source W, the fire F.
+    std::vector<std::string> locations;
+    for (int i = 1; i <= n_waypoints; ++i)
+        locations.push_back("L" + std::to_string(i));
+    locations.push_back("W");
+    locations.push_back("F");
+    problem.symbols = locations;
+
+    auto rq_constants = std::vector<std::string>{"R", "Q", "F"};
+    constexpr int kR = ~0;  // constants[0]
+    constexpr int kQ = ~1;  // constants[1]
+    constexpr int kF = ~2;  // constants[2]
+
+    // MoveRob(x, y): the rover drives alone (quadcopter airborne).
+    {
+        ActionSchema schema;
+        schema.name = "MoveRob";
+        schema.params = {"x", "y"};
+        schema.distinct = {{0, 1}};
+        schema.constants = rq_constants;
+        schema.pre_pos = {{"At", {kR, 0}}, {"InAir", {kQ}}};
+        schema.eff_add = {{"At", {kR, 1}}};
+        schema.eff_del = {{"At", {kR, 0}}};
+        problem.schemas.push_back(schema);
+    }
+    // MoveRobCarry(x, y): the rover drives carrying the quadcopter.
+    {
+        ActionSchema schema;
+        schema.name = "MoveRobCarry";
+        schema.params = {"x", "y"};
+        schema.distinct = {{0, 1}};
+        schema.constants = rq_constants;
+        schema.pre_pos = {{"At", {kR, 0}},
+                          {"At", {kQ, 0}},
+                          {"OnRob", {kQ}}};
+        schema.eff_add = {{"At", {kR, 1}}, {"At", {kQ, 1}}};
+        schema.eff_del = {{"At", {kR, 0}}, {"At", {kQ, 0}}};
+        problem.schemas.push_back(schema);
+    }
+    // FlyQuad(x, y): airborne flight, drains the battery.
+    {
+        ActionSchema schema;
+        schema.name = "FlyQuad";
+        schema.params = {"x", "y"};
+        schema.distinct = {{0, 1}};
+        schema.constants = rq_constants;
+        schema.pre_pos = {{"At", {kQ, 0}},
+                          {"InAir", {kQ}},
+                          {"BatFull", {kQ}}};
+        schema.eff_add = {{"At", {kQ, 1}}, {"BatLow", {kQ}}};
+        schema.eff_del = {{"At", {kQ, 0}}, {"BatFull", {kQ}}};
+        problem.schemas.push_back(schema);
+    }
+    // Land(x): the quadcopter lands on the co-located rover.
+    {
+        ActionSchema schema;
+        schema.name = "Land";
+        schema.params = {"x"};
+        schema.constants = rq_constants;
+        schema.pre_pos = {{"At", {kR, 0}},
+                          {"At", {kQ, 0}},
+                          {"InAir", {kQ}}};
+        schema.eff_add = {{"OnRob", {kQ}}};
+        schema.eff_del = {{"InAir", {kQ}}};
+        problem.schemas.push_back(schema);
+    }
+    // TakeOff(x).
+    {
+        ActionSchema schema;
+        schema.name = "TakeOff";
+        schema.params = {"x"};
+        schema.constants = rq_constants;
+        schema.pre_pos = {{"At", {kR, 0}},
+                          {"At", {kQ, 0}},
+                          {"OnRob", {kQ}}};
+        schema.eff_add = {{"InAir", {kQ}}};
+        schema.eff_del = {{"OnRob", {kQ}}};
+        problem.schemas.push_back(schema);
+    }
+    // ChargeBattery(x): only while docked on the rover.
+    {
+        ActionSchema schema;
+        schema.name = "ChargeBattery";
+        schema.params = {"x"};
+        schema.constants = rq_constants;
+        schema.pre_pos = {{"At", {kQ, 0}},
+                          {"OnRob", {kQ}},
+                          {"BatLow", {kQ}}};
+        schema.eff_add = {{"BatFull", {kQ}}};
+        schema.eff_del = {{"BatLow", {kQ}}};
+        problem.schemas.push_back(schema);
+    }
+    // FillWater: dock at the water source and refill the tank.
+    {
+        ActionSchema schema;
+        schema.name = "FillWater";
+        schema.constants = {"R", "Q", "W"};
+        schema.pre_pos = {{"At", {~0, ~2}},
+                          {"At", {~1, ~2}},
+                          {"OnRob", {~1}},
+                          {"EmptyTank", {~1}}};
+        schema.eff_add = {{"FullTank", {~1}}};
+        schema.eff_del = {{"EmptyTank", {~1}}};
+        problem.schemas.push_back(schema);
+    }
+    // PourWater stages: ExtZero -> ExtOne -> ExtTwo -> ExtThree.
+    const char *stages[3][2] = {
+        {"ExtZero", "ExtOne"},
+        {"ExtOne", "ExtTwo"},
+        {"ExtTwo", "ExtThree"},
+    };
+    for (int stage = 0; stage < 3; ++stage) {
+        ActionSchema schema;
+        schema.name = std::string("PourWater") + std::to_string(stage + 1);
+        schema.constants = rq_constants;
+        schema.pre_pos = {{"At", {kQ, kF}},
+                          {"InAir", {kQ}},
+                          {"FullTank", {kQ}},
+                          {stages[stage][0], {kF}}};
+        schema.eff_add = {{stages[stage][1], {kF}},
+                          {"EmptyTank", {kQ}}};
+        schema.eff_del = {{stages[stage][0], {kF}},
+                          {"FullTank", {kQ}}};
+        problem.schemas.push_back(schema);
+    }
+
+    // Initial state (paper Fig. 14): rover at L1, quadcopter airborne at
+    // L2, tank empty, battery low, fire burning.
+    problem.initial = SymbolicState({
+        makeAtom("At", {"R", "L1"}),
+        makeAtom("At", {"Q", "L2"}),
+        makeAtom("InAir", {"Q"}),
+        makeAtom("EmptyTank", {"Q"}),
+        makeAtom("BatLow", {"Q"}),
+        makeAtom("ExtZero", {"F"}),
+    });
+    problem.goal = {makeAtom("ExtThree", {"F"})};
+    return problem;
+}
+
+} // namespace rtr

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Firefighting-robots problem builder (kernel 12.sym-fext, paper
+ * Fig. 14): a mobile robot R carries a quadcopter Q between locations;
+ * the quadcopter refills its tank at the water source and pours water
+ * on the fire three times to extinguish it, recharging its battery on
+ * the rover as needed.
+ */
+
+#ifndef RTR_SYMBOLIC_FIREFIGHT_H
+#define RTR_SYMBOLIC_FIREFIGHT_H
+
+#include "symbolic/domain.h"
+
+namespace rtr {
+
+/**
+ * Build the firefighting instance.
+ *
+ * @param n_waypoints Plain waypoint locations beyond the water source
+ *        "W" and the fire "F" (>= 2; the first is the rover's start,
+ *        the second the quadcopter's).
+ */
+SymbolicProblem makeFirefight(int n_waypoints = 12);
+
+} // namespace rtr
+
+#endif // RTR_SYMBOLIC_FIREFIGHT_H

@@ -1,0 +1,173 @@
+#include "symbolic/planner.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "search/min_heap.h"
+#include "util/logging.h"
+
+namespace rtr {
+
+SymbolicPlanner::SymbolicPlanner(const SymbolicProblem &problem,
+                                 const SymbolicPlannerConfig &config)
+    : problem_(problem), config_(config), actions_(groundActions(problem))
+{
+}
+
+double
+SymbolicPlanner::heuristicValue(const SymbolicState &state) const
+{
+    if (config_.heuristic == SymbolicPlannerConfig::Heuristic::GoalCount)
+        return static_cast<double>(state.countMissing(problem_.goal));
+
+    // hAdd: delete-relaxation fixpoint. Atom costs start at 0 for atoms
+    // in the state; each action whose positive preconditions are all
+    // reached makes its add effects reachable at (sum of precondition
+    // costs) + 1.
+    constexpr double kInf = std::numeric_limits<double>::max() / 4.0;
+    std::unordered_map<Atom, double> cost;
+    cost.reserve(state.atoms().size() * 2);
+    for (const Atom &atom : state.atoms())
+        cost[atom] = 0.0;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const GroundAction &action : actions_) {
+            double pre_sum = 0.0;
+            bool reachable = true;
+            for (const Atom &pre : action.pre_pos) {
+                auto it = cost.find(pre);
+                if (it == cost.end()) {
+                    reachable = false;
+                    break;
+                }
+                pre_sum += it->second;
+            }
+            if (!reachable)
+                continue;
+            double action_cost = pre_sum + 1.0;
+            for (const Atom &eff : action.eff_add) {
+                auto [it, inserted] = cost.emplace(eff, action_cost);
+                if (!inserted && action_cost < it->second) {
+                    it->second = action_cost;
+                    changed = true;
+                } else if (inserted) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    double h = 0.0;
+    for (const Atom &goal_atom : problem_.goal) {
+        auto it = cost.find(goal_atom);
+        if (it == cost.end())
+            return kInf;
+        h += it->second;
+    }
+    return h;
+}
+
+SymbolicPlanResult
+SymbolicPlanner::plan(PhaseProfiler *profiler) const
+{
+    SymbolicPlanResult result;
+    result.ground_action_count = actions_.size();
+
+    constexpr std::uint32_t kNone = 0xFFFFFFFF;
+    struct NodeInfo
+    {
+        double g = 0.0;
+        std::uint32_t parent = 0xFFFFFFFF;
+        std::uint32_t via_action = 0xFFFFFFFF;
+        bool closed = false;
+    };
+
+    std::vector<SymbolicState> states;
+    std::unordered_map<SymbolicState, std::uint32_t, SymbolicStateHash> ids;
+    std::vector<NodeInfo> info;
+    auto intern = [&](const SymbolicState &s) {
+        auto [it, inserted] =
+            ids.emplace(s, static_cast<std::uint32_t>(states.size()));
+        if (inserted) {
+            states.push_back(s);
+            info.push_back(NodeInfo{});
+        }
+        return it->second;
+    };
+
+    MinHeap<std::uint32_t> open;
+    std::uint32_t start_id = intern(problem_.initial);
+    {
+        ScopedPhase phase(profiler, "heuristic");
+        open.push(config_.epsilon * heuristicValue(problem_.initial),
+                  start_id);
+    }
+
+    std::size_t applicable_total = 0;
+
+    while (!open.empty()) {
+        auto [key, id] = open.pop();
+        if (info[id].closed)
+            continue;
+        info[id].closed = true;
+        ++result.expanded;
+        if (result.expanded > config_.max_expansions)
+            return result;
+
+        // Copy: interning successors may grow `states`.
+        const SymbolicState state = states[id];
+        const double g_cur = info[id].g;
+
+        if (state.containsAll(problem_.goal)) {
+            result.found = true;
+            result.cost = g_cur;
+            std::vector<std::string> reversed;
+            for (std::uint32_t cur = id; info[cur].parent != kNone;
+                 cur = info[cur].parent) {
+                reversed.push_back(actions_[info[cur].via_action].name);
+            }
+            result.plan.assign(reversed.rbegin(), reversed.rend());
+            if (result.expanded)
+                result.avg_applicable_actions =
+                    static_cast<double>(applicable_total) /
+                    static_cast<double>(result.expanded);
+            return result;
+        }
+
+        // Successor generation: applicability tests + effect
+        // application, all string manipulation over the node.
+        ScopedPhase expand_phase(profiler, "expand");
+        for (std::size_t a = 0; a < actions_.size(); ++a) {
+            if (!actions_[a].applicable(state))
+                continue;
+            ++applicable_total;
+            SymbolicState next = actions_[a].apply(state);
+            ++result.generated;
+            std::uint32_t next_id = intern(next);
+            NodeInfo &ni = info[next_id];
+            double candidate = g_cur + 1.0;
+            bool fresh =
+                ni.parent == kNone && next_id != start_id;
+            if (fresh || (!ni.closed && candidate < ni.g)) {
+                ni.g = candidate;
+                ni.parent = id;
+                ni.via_action = static_cast<std::uint32_t>(a);
+                double h;
+                {
+                    ScopedPhase h_phase(profiler, "heuristic");
+                    h = heuristicValue(next);
+                }
+                open.push(candidate + config_.epsilon * h, next_id);
+            }
+        }
+    }
+    if (result.expanded)
+        result.avg_applicable_actions =
+            static_cast<double>(applicable_total) /
+            static_cast<double>(result.expanded);
+    return result;
+}
+
+} // namespace rtr

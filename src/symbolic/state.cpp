@@ -1,0 +1,105 @@
+#include "symbolic/state.h"
+
+#include <algorithm>
+
+namespace rtr {
+
+Atom
+makeAtom(const std::string &predicate, const std::vector<std::string> &args)
+{
+    std::string atom = predicate;
+    atom.push_back('(');
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i)
+            atom.push_back(',');
+        atom += args[i];
+    }
+    atom.push_back(')');
+    return atom;
+}
+
+SymbolicState::SymbolicState(std::vector<Atom> atoms)
+    : atoms_(std::move(atoms))
+{
+    std::sort(atoms_.begin(), atoms_.end());
+    atoms_.erase(std::unique(atoms_.begin(), atoms_.end()), atoms_.end());
+}
+
+bool
+SymbolicState::contains(const Atom &atom) const
+{
+    return std::binary_search(atoms_.begin(), atoms_.end(), atom);
+}
+
+bool
+SymbolicState::containsAll(const std::vector<Atom> &atoms) const
+{
+    for (const Atom &atom : atoms) {
+        if (!contains(atom))
+            return false;
+    }
+    return true;
+}
+
+bool
+SymbolicState::containsNone(const std::vector<Atom> &atoms) const
+{
+    for (const Atom &atom : atoms) {
+        if (contains(atom))
+            return false;
+    }
+    return true;
+}
+
+SymbolicState
+SymbolicState::apply(const std::vector<Atom> &add,
+                     const std::vector<Atom> &del) const
+{
+    std::vector<Atom> next;
+    next.reserve(atoms_.size() + add.size());
+    for (const Atom &atom : atoms_) {
+        if (std::find(del.begin(), del.end(), atom) == del.end())
+            next.push_back(atom);
+    }
+    next.insert(next.end(), add.begin(), add.end());
+    return SymbolicState(std::move(next));
+}
+
+std::size_t
+SymbolicState::countMissing(const std::vector<Atom> &atoms) const
+{
+    std::size_t missing = 0;
+    for (const Atom &atom : atoms)
+        missing += contains(atom) ? 0 : 1;
+    return missing;
+}
+
+std::size_t
+SymbolicState::hash() const
+{
+    std::size_t h = 14695981039346656037ULL;
+    for (const Atom &atom : atoms_) {
+        for (char c : atom) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ULL;
+        }
+        h ^= 0xFF;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string
+SymbolicState::toString() const
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < atoms_.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += atoms_[i];
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace rtr

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Symbolic planning states.
+ *
+ * Following the paper's characterization of the symbolic kernels (graph
+ * search + "string manipulation inside nodes"), atoms are canonical
+ * strings like "On(A,B)" and a state is a sorted set of them. All the
+ * applicability/effect work is string comparison and set manipulation —
+ * deliberately, because that *is* the workload being benchmarked.
+ */
+
+#ifndef RTR_SYMBOLIC_STATE_H
+#define RTR_SYMBOLIC_STATE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rtr {
+
+/** A ground atom, e.g. "On(A,B)". */
+using Atom = std::string;
+
+/** Build an atom string from a predicate name and arguments. */
+Atom makeAtom(const std::string &predicate,
+              const std::vector<std::string> &args);
+
+/** An immutable sorted set of atoms. */
+class SymbolicState
+{
+  public:
+    SymbolicState() = default;
+
+    /** Construct from atoms (sorted and deduplicated internally). */
+    explicit SymbolicState(std::vector<Atom> atoms);
+
+    /** Whether the atom holds in this state. */
+    bool contains(const Atom &atom) const;
+
+    /** Whether every atom of @p atoms holds. */
+    bool containsAll(const std::vector<Atom> &atoms) const;
+
+    /** Whether no atom of @p atoms holds. */
+    bool containsNone(const std::vector<Atom> &atoms) const;
+
+    /** State with @p add inserted and @p del removed. */
+    SymbolicState apply(const std::vector<Atom> &add,
+                        const std::vector<Atom> &del) const;
+
+    /** Number of atoms in @p atoms that do NOT hold here. */
+    std::size_t countMissing(const std::vector<Atom> &atoms) const;
+
+    /** Atoms in sorted order. */
+    const std::vector<Atom> &atoms() const { return atoms_; }
+
+    bool operator==(const SymbolicState &o) const
+    {
+        return atoms_ == o.atoms_;
+    }
+
+    /** FNV-1a hash over the atom strings. */
+    std::size_t hash() const;
+
+    /** Human-readable "{atom, atom, ...}". */
+    std::string toString() const;
+
+  private:
+    std::vector<Atom> atoms_;
+};
+
+/** Hash functor for unordered containers. */
+struct SymbolicStateHash
+{
+    std::size_t operator()(const SymbolicState &s) const { return s.hash(); }
+};
+
+} // namespace rtr
+
+#endif // RTR_SYMBOLIC_STATE_H

@@ -1,0 +1,187 @@
+#include "util/args.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+ArgParser::ArgParser(std::string prog_name) : progName_(std::move(prog_name))
+{
+}
+
+void
+ArgParser::addOption(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    RTR_ASSERT(!findOption(name), "duplicate option --", name);
+    options_.push_back(Option{name, def, help, false});
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    RTR_ASSERT(!findFlag(name), "duplicate flag --", name);
+    flags_.push_back(Flag{name, help, false});
+}
+
+void
+ArgParser::parse(int argc, const char *const *argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    parse(args);
+}
+
+void
+ArgParser::parse(const std::vector<std::string> &args)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << usage();
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '", arg, "'");
+
+        std::string name = arg.substr(2);
+        std::string inline_value;
+        bool has_inline = false;
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_inline = true;
+        }
+
+        if (Flag *flag = findFlag(name)) {
+            if (has_inline)
+                fatal("flag --", name, " does not take a value");
+            flag->present = true;
+            continue;
+        }
+
+        Option *opt = findOption(name);
+        if (!opt)
+            fatal("unknown argument --", name, "; try --help");
+        if (has_inline) {
+            opt->value = inline_value;
+        } else {
+            if (i + 1 >= args.size())
+                fatal("option --", name, " expects a value");
+            opt->value = args[++i];
+        }
+        opt->set = true;
+    }
+}
+
+std::string
+ArgParser::get(const std::string &name) const
+{
+    const Option *opt = findOption(name);
+    RTR_ASSERT(opt, "option --", name, " was never registered");
+    return opt->value;
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const std::string value = get(name);
+    char *end = nullptr;
+    double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatal("option --", name, " expects a number, got '", value, "'");
+    return parsed;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    const std::string value = get(name);
+    char *end = nullptr;
+    long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("option --", name, " expects an integer, got '", value, "'");
+    return static_cast<std::int64_t>(parsed);
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    const Flag *flag = findFlag(name);
+    RTR_ASSERT(flag, "flag --", name, " was never registered");
+    return flag->present;
+}
+
+bool
+ArgParser::isSet(const std::string &name) const
+{
+    const Option *opt = findOption(name);
+    RTR_ASSERT(opt, "option --", name, " was never registered");
+    return opt->set;
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream oss;
+    oss << "USAGE:\n    ./" << progName_ << " [OPTIONS] [FLAGS]\n";
+    if (!options_.empty()) {
+        oss << "OPTIONS:\n";
+        for (const Option &opt : options_) {
+            std::string lhs = "--" + opt.name + " <val>";
+            oss << "    " << lhs;
+            for (std::size_t pad = lhs.size(); pad < 24; ++pad)
+                oss << ' ';
+            oss << opt.help << " [default: " << opt.value << "]\n";
+        }
+    }
+    oss << "FLAGS:\n";
+    for (const Flag &flag : flags_) {
+        std::string lhs = "--" + flag.name;
+        oss << "    " << lhs;
+        for (std::size_t pad = lhs.size(); pad < 24; ++pad)
+            oss << ' ';
+        oss << flag.help << "\n";
+    }
+    std::string lhs = "--help, -h";
+    oss << "    " << lhs;
+    for (std::size_t pad = lhs.size(); pad < 24; ++pad)
+        oss << ' ';
+    oss << "Print help message\n";
+    return oss.str();
+}
+
+ArgParser::Option *
+ArgParser::findOption(const std::string &name)
+{
+    auto it = std::find_if(options_.begin(), options_.end(),
+                           [&](const Option &o) { return o.name == name; });
+    return it == options_.end() ? nullptr : &*it;
+}
+
+const ArgParser::Option *
+ArgParser::findOption(const std::string &name) const
+{
+    return const_cast<ArgParser *>(this)->findOption(name);
+}
+
+ArgParser::Flag *
+ArgParser::findFlag(const std::string &name)
+{
+    auto it = std::find_if(flags_.begin(), flags_.end(),
+                           [&](const Flag &f) { return f.name == name; });
+    return it == flags_.end() ? nullptr : &*it;
+}
+
+const ArgParser::Flag *
+ArgParser::findFlag(const std::string &name) const
+{
+    return const_cast<ArgParser *>(this)->findFlag(name);
+}
+
+} // namespace rtr

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Command line argument parsing for kernel binaries.
+ *
+ * Every RTRBench kernel executable exposes its configuration on the
+ * command line and prints a usage message with --help, mirroring Fig. 20
+ * of the paper:
+ *
+ *   $ ./rrt.out --help
+ *   USAGE:
+ *       ./rrt.out [OPTIONS] [FLAGS]
+ *   OPTIONS:
+ *       --bias <val>     Random number generation bias
+ *       ...
+ */
+
+#ifndef RTR_UTIL_ARGS_H
+#define RTR_UTIL_ARGS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rtr {
+
+/**
+ * Declarative option/flag parser.
+ *
+ * Options take a value (--samples 1000 or --samples=1000) and carry a
+ * default; flags are boolean (--verbose). Unknown arguments are a fatal
+ * user error. --help/-h prints the usage message and exits 0.
+ */
+class ArgParser
+{
+  public:
+    /** @param prog_name The binary name shown in the usage message. */
+    explicit ArgParser(std::string prog_name);
+
+    /** Register a string-valued option with a default. */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Register a boolean flag (false unless present). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Calls fatal() on malformed or unknown arguments and
+     * exits after printing usage when --help is given.
+     */
+    void parse(int argc, const char *const *argv);
+
+    /** Parse a pre-split argument vector (excluding argv[0]). */
+    void parse(const std::vector<std::string> &args);
+
+    /** Value of an option (its default if never set on the command line). */
+    std::string get(const std::string &name) const;
+
+    /** Option value converted to double. */
+    double getDouble(const std::string &name) const;
+
+    /** Option value converted to int64. */
+    std::int64_t getInt(const std::string &name) const;
+
+    /** Whether a flag was present. */
+    bool getFlag(const std::string &name) const;
+
+    /** Whether an option was explicitly set by the user. */
+    bool isSet(const std::string &name) const;
+
+    /** Render the --help text. */
+    std::string usage() const;
+
+  private:
+    struct Option
+    {
+        std::string name;
+        std::string value;
+        std::string help;
+        bool set = false;
+    };
+
+    struct Flag
+    {
+        std::string name;
+        std::string help;
+        bool present = false;
+    };
+
+    Option *findOption(const std::string &name);
+    const Option *findOption(const std::string &name) const;
+    Flag *findFlag(const std::string &name);
+    const Flag *findFlag(const std::string &name) const;
+
+    std::string progName_;
+    std::vector<Option> options_;
+    std::vector<Flag> flags_;
+};
+
+} // namespace rtr
+
+#endif // RTR_UTIL_ARGS_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Status and error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a library bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits cleanly.
+ * warn()   — something is suspicious but execution can continue.
+ * inform() — plain status output for the user.
+ */
+
+#ifndef RTR_UTIL_LOGGING_H
+#define RTR_UTIL_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace rtr {
+
+namespace detail {
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Use for conditions that indicate a bug in this library, never for bad
+ * user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::cerr << "panic: " << detail::concat(std::forward<Args>(args)...)
+              << std::endl;
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration, bad input file)
+ * and exit with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::cerr << "fatal: " << detail::concat(std::forward<Args>(args)...)
+              << std::endl;
+    std::exit(1);
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::cerr << "warn: " << detail::concat(std::forward<Args>(args)...)
+              << std::endl;
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::cout << detail::concat(std::forward<Args>(args)...) << std::endl;
+}
+
+/** panic() unless the condition holds. */
+#define RTR_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rtr::panic("assertion '", #cond, "' failed at ", __FILE__,    \
+                         ":", __LINE__, " ", ##__VA_ARGS__);                \
+        }                                                                   \
+    } while (0)
+
+} // namespace rtr
+
+#endif // RTR_UTIL_LOGGING_H

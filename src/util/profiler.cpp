@@ -1,0 +1,79 @@
+#include "util/profiler.h"
+
+#include "util/logging.h"
+
+namespace rtr {
+
+void
+PhaseProfiler::begin(std::string_view name)
+{
+    std::size_t index = indexOf(name);
+    for (const OpenScope &open : stack_) {
+        RTR_ASSERT(open.index != index, "phase '", std::string(name),
+                   "' re-entered while already open");
+    }
+    stack_.push_back(OpenScope{index, Clock::now()});
+}
+
+void
+PhaseProfiler::end()
+{
+    RTR_ASSERT(!stack_.empty(), "PhaseProfiler::end() with no open phase");
+    const OpenScope open = stack_.back();
+    stack_.pop_back();
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now() - open.start)
+                             .count();
+    totals_[open.index].ns += elapsed;
+    totals_[open.index].count += 1;
+}
+
+std::int64_t
+PhaseProfiler::phaseNs(std::string_view name) const
+{
+    for (const PhaseTotal &total : totals_) {
+        if (total.name == name)
+            return total.ns;
+    }
+    return 0;
+}
+
+std::int64_t
+PhaseProfiler::phaseCount(std::string_view name) const
+{
+    for (const PhaseTotal &total : totals_) {
+        if (total.name == name)
+            return total.count;
+    }
+    return 0;
+}
+
+void
+PhaseProfiler::reset()
+{
+    totals_.clear();
+    stack_.clear();
+}
+
+void
+PhaseProfiler::merge(const PhaseProfiler &other)
+{
+    for (const PhaseTotal &total : other.totals_) {
+        std::size_t index = indexOf(total.name);
+        totals_[index].ns += total.ns;
+        totals_[index].count += total.count;
+    }
+}
+
+std::size_t
+PhaseProfiler::indexOf(std::string_view name)
+{
+    for (std::size_t i = 0; i < totals_.size(); ++i) {
+        if (totals_[i].name == name)
+            return i;
+    }
+    totals_.push_back(PhaseTotal{std::string(name), 0, 0});
+    return totals_.size() - 1;
+}
+
+} // namespace rtr

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Region-of-interest (ROI) hooks in the spirit of zsim's magic ops.
+ *
+ * The paper integrates every kernel with the zsim micro-architectural
+ * simulator and marks the region of interest with hooks. Outside a
+ * simulator — as in this reproduction — the hooks must be "safely
+ * executed: no effect on correctness and virtually zero effect on
+ * performance" (paper §VI). We honor that contract: the hooks compile to
+ * a compiler barrier plus a process-local flag, and a port to a real
+ * simulator only needs to re-implement these two functions with the
+ * target simulator's magic instructions.
+ */
+
+#ifndef RTR_UTIL_ROI_H
+#define RTR_UTIL_ROI_H
+
+namespace rtr {
+
+namespace detail {
+inline bool roi_active = false;
+} // namespace detail
+
+/**
+ * Mark the beginning of the region of interest. Under zsim this would
+ * issue the zsim_roi_begin magic op; here it is a barrier + flag.
+ */
+inline void
+roiBegin()
+{
+    asm volatile("" ::: "memory");
+    detail::roi_active = true;
+}
+
+/** Mark the end of the region of interest. */
+inline void
+roiEnd()
+{
+    asm volatile("" ::: "memory");
+    detail::roi_active = false;
+}
+
+/** Whether execution is currently inside the ROI. */
+inline bool
+inRoi()
+{
+    return detail::roi_active;
+}
+
+/** RAII ROI marker: begins on construction, ends on destruction. */
+class ScopedRoi
+{
+  public:
+    ScopedRoi() { roiBegin(); }
+    ~ScopedRoi() { roiEnd(); }
+
+    ScopedRoi(const ScopedRoi &) = delete;
+    ScopedRoi &operator=(const ScopedRoi &) = delete;
+};
+
+} // namespace rtr
+
+#endif // RTR_UTIL_ROI_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small statistics helpers for benchmark reporting.
+ */
+
+#ifndef RTR_UTIL_STATS_H
+#define RTR_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace rtr {
+
+/**
+ * Online accumulator for mean / variance / extrema (Welford's method).
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples seen so far. */
+    std::size_t count() const { return count_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample seen (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * The q-th quantile (q in [0,1]) of a sample set by linear interpolation.
+ * The input is copied; it does not need to be sorted.
+ */
+double quantile(std::vector<double> samples, double q);
+
+/** Arithmetic mean of a sample set (0 when empty). */
+double mean(const std::vector<double> &samples);
+
+} // namespace rtr
+
+#endif // RTR_UTIL_STATS_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal monotonic wall-clock stopwatch.
+ */
+
+#ifndef RTR_UTIL_STOPWATCH_H
+#define RTR_UTIL_STOPWATCH_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace rtr {
+
+/** A restartable stopwatch over the steady (monotonic) clock. */
+class Stopwatch
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restart timing from now. */
+    void restart() { start_ = Clock::now(); }
+
+    /** Nanoseconds elapsed since construction or the last restart(). */
+    std::int64_t
+    elapsedNs() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - start_)
+            .count();
+    }
+
+    /** Seconds elapsed since construction or the last restart(). */
+    double elapsedSec() const { return elapsedNs() * 1e-9; }
+
+  private:
+    Clock::time_point start_;
+};
+
+} // namespace rtr
+
+#endif // RTR_UTIL_STOPWATCH_H

@@ -1,0 +1,97 @@
+#include "util/table.h"
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    RTR_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    RTR_ASSERT(row.size() == headers_.size(), "row width ", row.size(),
+               " != header width ", headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::ostringstream &oss) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+        }
+        oss << "\n";
+    };
+
+    std::ostringstream oss;
+    emit_row(headers_, oss);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    oss << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row, oss);
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    std::cout << render() << std::flush;
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << fraction * 100.0
+        << "%";
+    return oss.str();
+}
+
+std::string
+Table::count(long long value)
+{
+    std::string digits = std::to_string(value < 0 ? -value : value);
+    std::string out;
+    int since_sep = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since_sep == 3) {
+            out.push_back(',');
+            since_sep = 0;
+        }
+        out.push_back(*it);
+        ++since_sep;
+    }
+    if (value < 0)
+        out.push_back('-');
+    return std::string(out.rbegin(), out.rend());
+}
+
+} // namespace rtr

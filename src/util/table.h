@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fixed-width console table rendering for benchmark output.
+ *
+ * Benchmark binaries print the rows/series the paper's tables and figures
+ * report; this helper keeps that output aligned and diff-friendly.
+ */
+
+#ifndef RTR_UTIL_TABLE_H
+#define RTR_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace rtr {
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; it must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table with a separator under the header. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format helper: fixed-precision double. */
+    static std::string num(double value, int precision = 2);
+
+    /** Format helper: percentage with % suffix. */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Format helper: integer with thousands separators. */
+    static std::string count(long long value);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rtr
+
+#endif // RTR_UTIL_TABLE_H

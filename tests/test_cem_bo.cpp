@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the learning kernels' substrates: the ball-throw
+ * environment, CEM, the Gaussian process, and Bayesian optimization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/ball_throw.h"
+#include "control/bayes_opt.h"
+#include "control/cem.h"
+#include "control/gaussian_process.h"
+#include "geom/angle.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+TEST(BallThrow, ClosedFormProjectileCheck)
+{
+    BallThrowEnv env(5.0);
+    // Straight horizontal arm (theta1 = theta2 = 0): release at
+    // (0.9, 1.0) throwing horizontally at 4 m/s; flight time
+    // sqrt(2 h / g), landing x = 0.9 + 4 t.
+    double landing = env.landingPoint({0.0, 0.0, 4.0});
+    double t = std::sqrt(2.0 * 1.0 / 9.81);
+    EXPECT_NEAR(landing, 0.9 + 4.0 * t, 1e-9);
+}
+
+TEST(BallThrow, RewardPeaksAtGoal)
+{
+    BallThrowEnv env(5.0);
+    // A 45-degree throw overshooting vs a good throw.
+    std::vector<double> good{0.3, 0.2, 6.2};
+    double landing = env.landingPoint(good);
+    std::vector<double> adjusted = good;
+    // Reward is exactly negative distance.
+    EXPECT_DOUBLE_EQ(env.evaluate(good), -std::abs(landing - 5.0));
+    EXPECT_LE(env.evaluate(adjusted), 0.0);
+}
+
+TEST(BallThrow, HarderThrowFliesFarther)
+{
+    BallThrowEnv env(5.0);
+    double slow = env.landingPoint({0.4, 0.2, 3.0});
+    double fast = env.landingPoint({0.4, 0.2, 9.0});
+    EXPECT_GT(fast, slow);
+}
+
+TEST(BallThrow, FlightTraceEndsNearGround)
+{
+    BallThrowEnv env(5.0);
+    std::vector<double> params{0.4, 0.1, 5.0};
+    auto trace = env.flightTrace(params);
+    // Last (x, y) sample: y ~ 0 (landing), x ~ landing point.
+    EXPECT_NEAR(trace[63], 0.0, 1e-6);
+    EXPECT_NEAR(trace[62], env.landingPoint(params), 1e-6);
+}
+
+TEST(Cem, OptimizesSimpleQuadratic)
+{
+    CemConfig config;
+    config.iterations = 20;
+    config.samples_per_iteration = 30;
+    config.elites = 6;
+    CemOptimizer optimizer(config);
+    Rng rng(1);
+    auto reward = [](const std::vector<double> &x) {
+        double dx = x[0] - 1.5, dy = x[1] + 0.5;
+        return -(dx * dx + dy * dy);
+    };
+    CemResult result =
+        optimizer.optimize(reward, {-5, -5}, {5, 5}, rng);
+    EXPECT_GT(result.best_reward, -0.05);
+    EXPECT_NEAR(result.best_params[0], 1.5, 0.3);
+    EXPECT_NEAR(result.best_params[1], -0.5, 0.3);
+    EXPECT_EQ(result.evaluations, 600u);
+    EXPECT_EQ(result.reward_history.size(), 600u);
+}
+
+TEST(Cem, LearnsBallThrow)
+{
+    BallThrowEnv env(5.0);
+    CemConfig config;  // paper defaults: 5 x 15
+    CemOptimizer optimizer(config);
+    Rng rng(2);
+    CemResult result = optimizer.optimize(
+        [&](const std::vector<double> &p) { return env.evaluate(p); },
+        env.lowerBounds(), env.upperBounds(), rng);
+    // Within 60 cm of the goal after 75 evaluations.
+    EXPECT_GT(result.best_reward, -0.6);
+}
+
+TEST(Cem, RewardTrendImproves)
+{
+    BallThrowEnv env(5.0);
+    CemOptimizer optimizer{CemConfig{}};
+    Rng rng(3);
+    CemResult result = optimizer.optimize(
+        [&](const std::vector<double> &p) { return env.evaluate(p); },
+        env.lowerBounds(), env.upperBounds(), rng);
+    // Mean reward of the last iteration beats the first (Fig. 18).
+    double first = 0.0, last = 0.0;
+    for (int s = 0; s < 15; ++s) {
+        first += result.reward_history[static_cast<std::size_t>(s)];
+        last += result.reward_history[result.reward_history.size() - 1 -
+                                      static_cast<std::size_t>(s)];
+    }
+    EXPECT_GT(last, first);
+}
+
+TEST(Cem, DeterministicGivenSeed)
+{
+    BallThrowEnv env(4.0);
+    CemOptimizer optimizer{CemConfig{}};
+    Rng rng_a(9), rng_b(9);
+    auto reward = [&](const std::vector<double> &p) {
+        return env.evaluate(p);
+    };
+    CemResult a = optimizer.optimize(reward, env.lowerBounds(),
+                                     env.upperBounds(), rng_a);
+    CemResult b = optimizer.optimize(reward, env.lowerBounds(),
+                                     env.upperBounds(), rng_b);
+    EXPECT_DOUBLE_EQ(a.best_reward, b.best_reward);
+    EXPECT_EQ(a.reward_history, b.reward_history);
+}
+
+TEST(Gp, InterpolatesTrainingPoints)
+{
+    GaussianProcess gp;
+    std::vector<std::vector<double>> xs{{0.0}, {1.0}, {2.0}};
+    std::vector<double> ys{1.0, 3.0, 2.0};
+    gp.fit(xs, ys);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        GpPrediction pred = gp.predict(xs[i]);
+        EXPECT_NEAR(pred.mean, ys[i], 0.05);
+        EXPECT_LT(pred.variance, 0.01);
+    }
+}
+
+TEST(Gp, UncertaintyGrowsAwayFromData)
+{
+    GaussianProcess gp;
+    gp.fit({{0.0}, {1.0}}, {0.0, 1.0});
+    GpPrediction near = gp.predict({0.5});
+    GpPrediction far = gp.predict({10.0});
+    EXPECT_LT(near.variance, far.variance);
+    // Far from data the mean reverts to the prior (training mean).
+    EXPECT_NEAR(far.mean, 0.5, 0.05);
+}
+
+TEST(Gp, SmoothInterpolationBetweenPoints)
+{
+    GpConfig config;
+    config.length_scale = 1.0;
+    GaussianProcess gp(config);
+    gp.fit({{0.0}, {2.0}}, {0.0, 2.0});
+    GpPrediction mid = gp.predict({1.0});
+    EXPECT_GT(mid.mean, 0.3);
+    EXPECT_LT(mid.mean, 1.7);
+}
+
+TEST(Bo, OptimizesSimpleQuadratic)
+{
+    BoConfig config;
+    config.iterations = 25;
+    config.candidates_per_iteration = 2000;
+    BayesOpt optimizer(config);
+    Rng rng(4);
+    auto reward = [](const std::vector<double> &x) {
+        double d = x[0] - 0.7;
+        return -d * d;
+    };
+    BoResult result = optimizer.optimize(reward, {-3}, {3}, rng);
+    EXPECT_GT(result.best_reward, -0.01);
+    EXPECT_NEAR(result.best_params[0], 0.7, 0.15);
+    EXPECT_EQ(result.acquisition_evals, 25u * 2000u);
+}
+
+TEST(Bo, LearnsBallThrow)
+{
+    BallThrowEnv env(5.0);
+    BoConfig config;
+    config.iterations = 30;
+    config.candidates_per_iteration = 3000;
+    BayesOpt optimizer(config);
+    Rng rng(5);
+    auto trace = [&](const std::vector<double> &p) {
+        return env.flightTrace(p);
+    };
+    BoResult result = optimizer.optimize(
+        [&](const std::vector<double> &p) { return env.evaluate(p); },
+        env.lowerBounds(), env.upperBounds(), rng, nullptr, trace);
+    EXPECT_GT(result.best_reward, -0.5);
+    EXPECT_EQ(result.reward_history.size(),
+              static_cast<std::size_t>(config.iterations +
+                                       config.seed_observations));
+}
+
+TEST(Bo, BeatsRandomSearchOnSameBudget)
+{
+    BallThrowEnv env(6.5);
+    auto reward = [&](const std::vector<double> &p) {
+        return env.evaluate(p);
+    };
+    BoConfig config;
+    config.iterations = 20;
+    config.candidates_per_iteration = 2000;
+    double bo_total = 0.0, random_total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        Rng rng(seed);
+        BayesOpt optimizer(config);
+        BoResult bo = optimizer.optimize(reward, env.lowerBounds(),
+                                         env.upperBounds(), rng);
+        bo_total += bo.best_reward;
+
+        // Random search with the same number of true evaluations.
+        Rng rand_rng(seed + 100);
+        double best = -1e18;
+        for (int i = 0;
+             i < config.iterations + config.seed_observations; ++i) {
+            std::vector<double> x(3);
+            auto lo = env.lowerBounds(), hi = env.upperBounds();
+            for (std::size_t d = 0; d < 3; ++d)
+                x[d] = rand_rng.uniform(lo[d], hi[d]);
+            best = std::max(best, reward(x));
+        }
+        random_total += best;
+    }
+    EXPECT_GE(bo_total, random_total);
+}
+
+} // namespace
+} // namespace rtr

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the chamfer distance transform and obstacle inflation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "grid/distance_transform.h"
+#include "grid/map_gen.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+/** Exact brute-force nearest-occupied distance in world units. */
+double
+bruteDistance(const OccupancyGrid2D &grid, int cx, int cy)
+{
+    double best = std::numeric_limits<double>::max();
+    for (int y = 0; y < grid.height(); ++y) {
+        for (int x = 0; x < grid.width(); ++x) {
+            if (!grid.occupiedUnchecked(x, y))
+                continue;
+            double dx = (x - cx) * grid.resolution();
+            double dy = (y - cy) * grid.resolution();
+            best = std::min(best, std::sqrt(dx * dx + dy * dy));
+        }
+    }
+    return best;
+}
+
+TEST(DistanceTransform, ZeroAtObstacles)
+{
+    OccupancyGrid2D grid(16, 16);
+    grid.setOccupied(8, 8);
+    std::vector<double> dist = distanceTransform(grid);
+    EXPECT_DOUBLE_EQ(dist[8 * 16 + 8], 0.0);
+    EXPECT_GT(dist[0], 0.0);
+}
+
+TEST(DistanceTransform, ApproximatesEuclidean)
+{
+    // Chamfer 3-4 error bound is ~8% of the true distance.
+    Rng rng(13);
+    OccupancyGrid2D grid = makeRandomObstacleMap(40, 40, 0.08, 13);
+    std::vector<double> dist = distanceTransform(grid);
+    for (int trial = 0; trial < 80; ++trial) {
+        int x = static_cast<int>(rng.index(40));
+        int y = static_cast<int>(rng.index(40));
+        double exact = bruteDistance(grid, x, y);
+        double approx = dist[static_cast<std::size_t>(y) * 40 + x];
+        EXPECT_LE(std::abs(approx - exact), 0.09 * exact + 1e-9)
+            << "cell (" << x << "," << y << ")";
+    }
+}
+
+TEST(DistanceTransform, MonotoneUnderAddedObstacles)
+{
+    OccupancyGrid2D sparse(32, 32);
+    sparse.setOccupied(5, 5);
+    OccupancyGrid2D dense = sparse;
+    dense.setOccupied(20, 20);
+    std::vector<double> d_sparse = distanceTransform(sparse);
+    std::vector<double> d_dense = distanceTransform(dense);
+    for (std::size_t i = 0; i < d_sparse.size(); ++i)
+        EXPECT_LE(d_dense[i], d_sparse[i] + 1e-12);
+}
+
+TEST(Inflate, GrowsObstacles)
+{
+    OccupancyGrid2D grid(21, 21);
+    grid.setOccupied(10, 10);
+    OccupancyGrid2D inflated = inflate(grid, 2.0);
+    // Original obstacle persists.
+    EXPECT_TRUE(inflated.occupied(10, 10));
+    // Neighbors within the radius are now occupied.
+    EXPECT_TRUE(inflated.occupied(12, 10));
+    EXPECT_TRUE(inflated.occupied(10, 8));
+    // Far cells stay free.
+    EXPECT_FALSE(inflated.occupied(16, 10));
+    EXPECT_FALSE(inflated.occupied(0, 0));
+}
+
+TEST(Inflate, ZeroRadiusKeepsOnlyObstacles)
+{
+    Rng rng(3);
+    OccupancyGrid2D grid = makeRandomObstacleMap(24, 24, 0.1, 3);
+    OccupancyGrid2D same = inflate(grid, 0.0);
+    for (int y = 0; y < 24; ++y) {
+        for (int x = 0; x < 24; ++x)
+            EXPECT_EQ(same.occupied(x, y), grid.occupied(x, y));
+    }
+}
+
+TEST(Inflate, SupersetProperty)
+{
+    OccupancyGrid2D grid = makeRandomObstacleMap(32, 32, 0.12, 21);
+    OccupancyGrid2D inflated = inflate(grid, 1.5);
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+            if (grid.occupied(x, y))
+                EXPECT_TRUE(inflated.occupied(x, y));
+        }
+    }
+    EXPECT_GE(inflated.occupancyRatio(), grid.occupancyRatio());
+}
+
+} // namespace
+} // namespace rtr

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for dynamic movement primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/dmp.h"
+#include "geom/angle.h"
+
+namespace rtr {
+namespace {
+
+std::vector<double>
+minimumJerk(double start, double goal, int n, double /*dt*/)
+{
+    std::vector<double> demo(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        double t = static_cast<double>(i) / (n - 1);
+        double s = 10 * t * t * t - 15 * t * t * t * t +
+                   6 * t * t * t * t * t;
+        demo[static_cast<std::size_t>(i)] = start + (goal - start) * s;
+    }
+    return demo;
+}
+
+TEST(Dmp1D, ReachesGoalOfDemonstration)
+{
+    const int n = 200;
+    const double dt = 0.005;
+    Dmp1D dmp;
+    dmp.fit(minimumJerk(0.0, 2.0, n, dt), dt);
+    DmpTrajectory traj = dmp.rollout(n, dt);
+    ASSERT_EQ(traj.position.size(), static_cast<std::size_t>(n));
+    EXPECT_NEAR(traj.position.back(), 2.0, 0.05);
+    EXPECT_NEAR(traj.velocity.back(), 0.0, 0.4);
+}
+
+TEST(Dmp1D, TracksDemonstrationShape)
+{
+    const int n = 200;
+    const double dt = 0.005;
+    std::vector<double> demo = minimumJerk(1.0, -1.5, n, dt);
+    Dmp1D dmp;
+    dmp.fit(demo, dt);
+    DmpTrajectory traj = dmp.rollout(n, dt);
+    double max_err = 0.0;
+    for (int i = 0; i < n; ++i)
+        max_err = std::max(max_err,
+                           std::abs(traj.position[static_cast<std::size_t>(i)] -
+                                    demo[static_cast<std::size_t>(i)]));
+    EXPECT_LT(max_err, 0.12);
+}
+
+TEST(Dmp1D, GeneralizesToNewGoal)
+{
+    const int n = 200;
+    const double dt = 0.005;
+    Dmp1D dmp;
+    dmp.fit(minimumJerk(0.0, 1.0, n, dt), dt);
+    // Same shape, different endpoint: the spring attractor shifts.
+    DmpTrajectory traj = dmp.rollout(n, dt, 0.0, 3.0);
+    EXPECT_NEAR(traj.position.back(), 3.0, 0.1);
+    DmpTrajectory shifted = dmp.rollout(n, dt, 5.0, 6.0);
+    EXPECT_NEAR(shifted.position.front(), 5.0, 1e-9);
+    EXPECT_NEAR(shifted.position.back(), 6.0, 0.1);
+}
+
+TEST(Dmp1D, VelocityIsDerivativeOfPosition)
+{
+    const int n = 150;
+    const double dt = 0.01;
+    Dmp1D dmp;
+    dmp.fit(minimumJerk(0.0, 1.0, n, dt), dt);
+    DmpTrajectory traj = dmp.rollout(n, dt);
+    // Forward-Euler consistency: y[t+1] = y[t] + yd[t] * dt.
+    for (int t = 0; t + 1 < n; ++t) {
+        double predicted = traj.position[static_cast<std::size_t>(t)] +
+                           traj.velocity[static_cast<std::size_t>(t)] * dt;
+        EXPECT_NEAR(traj.position[static_cast<std::size_t>(t + 1)],
+                    predicted, 1e-9);
+    }
+}
+
+TEST(Dmp1D, MoreBasisFunctionsTrackBetter)
+{
+    const int n = 250;
+    const double dt = 0.004;
+    // A wavy demonstration that needs the forcing term.
+    std::vector<double> demo(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        double t = static_cast<double>(i) / (n - 1);
+        demo[static_cast<std::size_t>(i)] =
+            t + 0.3 * std::sin(2.0 * kPi * t);
+    }
+    auto track_error = [&](int n_basis) {
+        DmpConfig config;
+        config.n_basis = n_basis;
+        Dmp1D dmp(config);
+        dmp.fit(demo, dt);
+        DmpTrajectory traj = dmp.rollout(n, dt);
+        double err = 0.0;
+        for (int i = 0; i < n; ++i)
+            err += std::abs(traj.position[static_cast<std::size_t>(i)] -
+                            demo[static_cast<std::size_t>(i)]);
+        return err / n;
+    };
+    EXPECT_LT(track_error(30), track_error(4));
+}
+
+TEST(DmpND, FitsEachDimension)
+{
+    const int n = 180;
+    const double dt = 0.005;
+    std::vector<std::vector<double>> demo = makeDemoTrajectory(n, dt);
+    ASSERT_EQ(demo.size(), 2u);
+    DmpND dmp(2);
+    dmp.fit(demo, dt);
+    auto trajs = dmp.rollout(n, dt);
+    ASSERT_EQ(trajs.size(), 2u);
+    for (std::size_t d = 0; d < 2; ++d)
+        EXPECT_NEAR(trajs[d].position.back(), demo[d].back(), 0.8);
+}
+
+TEST(DmpND, ProfilerPhases)
+{
+    const int n = 100;
+    const double dt = 0.01;
+    DmpND dmp(2);
+    PhaseProfiler profiler;
+    dmp.fit(makeDemoTrajectory(n, dt), dt, &profiler);
+    dmp.rollout(n, dt, &profiler);
+    EXPECT_GT(profiler.phaseNs("fit"), 0);
+    EXPECT_GT(profiler.phaseNs("rollout"), 0);
+}
+
+TEST(DemoTrajectory, SmoothAndSized)
+{
+    auto demo = makeDemoTrajectory(120, 0.01);
+    ASSERT_EQ(demo.size(), 2u);
+    ASSERT_EQ(demo[0].size(), 120u);
+    // No jumps: consecutive samples close together.
+    for (std::size_t i = 1; i < demo[0].size(); ++i) {
+        EXPECT_LT(std::abs(demo[0][i] - demo[0][i - 1]), 0.6);
+        EXPECT_LT(std::abs(demo[1][i] - demo[1][i - 1]), 0.6);
+    }
+}
+
+} // namespace
+} // namespace rtr

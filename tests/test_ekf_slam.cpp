@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for EKF-SLAM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/angle.h"
+#include "perception/ekf_slam.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+TEST(EkfSlam, StartsAtOriginWithNoLandmarks)
+{
+    EkfSlam slam(4);
+    Pose2 pose = slam.robotEstimate();
+    EXPECT_DOUBLE_EQ(pose.x, 0.0);
+    EXPECT_DOUBLE_EQ(pose.y, 0.0);
+    EXPECT_EQ(slam.landmarkCount(), 0);
+    EXPECT_FALSE(slam.landmarkKnown(0));
+}
+
+TEST(EkfSlam, PredictMovesAlongHeading)
+{
+    EkfSlam slam(2);
+    slam.predict(1.0, 0.0, 1.0);
+    Pose2 pose = slam.robotEstimate();
+    EXPECT_NEAR(pose.x, 1.0, 1e-9);
+    EXPECT_NEAR(pose.y, 0.0, 1e-9);
+    // Prediction without measurement grows uncertainty.
+    double trace_one = slam.covarianceTrace();
+    slam.predict(1.0, 0.0, 1.0);
+    EXPECT_GT(slam.covarianceTrace(), trace_one);
+}
+
+TEST(EkfSlam, FirstObservationInitializesLandmark)
+{
+    EkfSlam slam(3);
+    RangeBearing obs;
+    obs.landmark_id = 1;
+    obs.range = 5.0;
+    obs.bearing = 0.0;
+    slam.update({obs});
+    ASSERT_TRUE(slam.landmarkKnown(1));
+    Vec2 estimate = slam.landmarkEstimate(1);
+    EXPECT_NEAR(estimate.x, 5.0, 0.2);
+    EXPECT_NEAR(estimate.y, 0.0, 0.2);
+    EXPECT_EQ(slam.landmarkCount(), 1);
+}
+
+TEST(EkfSlam, RepeatedObservationTightensEstimate)
+{
+    EkfSlam slam(1);
+    RangeBearing obs;
+    obs.landmark_id = 0;
+    obs.range = 4.0;
+    obs.bearing = 0.5;
+    slam.update({obs});
+    double trace_after_one = slam.covarianceTrace();
+    for (int i = 0; i < 10; ++i)
+        slam.update({obs});
+    EXPECT_LT(slam.covarianceTrace(), trace_after_one);
+}
+
+TEST(EkfSlam, FullRunConvergesToGroundTruth)
+{
+    const int n_landmarks = 6;
+    SlamWorld world = SlamWorld::make(n_landmarks, 3);
+    EkfNoise noise;
+    EkfSlam slam(n_landmarks, noise);
+    Rng rng(4);
+
+    // The filter frame equals the truth frame here: start at the
+    // origin facing +x and drive a circle.
+    Pose2 truth{0.0, 0.0, 0.0};
+    const double v = 1.0, omega = 0.15, dt = 0.1;
+    for (int t = 0; t < 500; ++t) {
+        double v_noisy = v + rng.normal(0.0, 0.02);
+        double w_noisy = omega + rng.normal(0.0, 0.005);
+        truth.x += v * dt * std::cos(truth.theta);
+        truth.y += v * dt * std::sin(truth.theta);
+        truth.theta = normalizeAngle(truth.theta + omega * dt);
+        slam.predict(v_noisy, w_noisy, dt);
+        slam.update(world.observe(truth, noise, rng));
+    }
+
+    Pose2 estimate = slam.robotEstimate();
+    EXPECT_LT(estimate.position().distanceTo(truth.position()), 0.5);
+
+    int known = 0;
+    for (int id = 0; id < n_landmarks; ++id) {
+        if (!slam.landmarkKnown(id))
+            continue;
+        ++known;
+        Vec2 est = slam.landmarkEstimate(id);
+        EXPECT_LT(est.distanceTo(
+                      world.landmarks[static_cast<std::size_t>(id)]),
+                  0.6)
+            << "landmark " << id;
+    }
+    EXPECT_GE(known, n_landmarks - 1);
+}
+
+TEST(EkfSlam, CovarianceStaysSymmetricPsd)
+{
+    SlamWorld world = SlamWorld::make(4, 5);
+    EkfNoise noise;
+    EkfSlam slam(4, noise);
+    Rng rng(6);
+    Pose2 truth{0.0, 0.0, 0.0};
+    for (int t = 0; t < 50; ++t) {
+        truth.x += 0.1;
+        slam.predict(1.0, 0.0, 0.1);
+        slam.update(world.observe(truth, noise, rng));
+    }
+    Matrix cov = slam.robotCovariance();
+    EXPECT_NEAR(cov(0, 1), cov(1, 0), 1e-9);
+    EXPECT_GT(cov(0, 0), 0.0);
+    EXPECT_GT(cov(1, 1), 0.0);
+    // 2x2 PSD: positive determinant.
+    EXPECT_GT(cov(0, 0) * cov(1, 1) - cov(0, 1) * cov(1, 0), -1e-12);
+}
+
+TEST(EkfSlam, ProfilerAttributesMatrixOps)
+{
+    EkfSlam slam(2);
+    PhaseProfiler profiler;
+    slam.predict(1.0, 0.1, 0.1, &profiler);
+    RangeBearing obs;
+    obs.landmark_id = 0;
+    obs.range = 3.0;
+    slam.update({obs}, &profiler);
+    EXPECT_GT(profiler.phaseNs("matrix-ops"), 0);
+    EXPECT_GE(profiler.phaseCount("matrix-ops"), 3);
+}
+
+TEST(SlamWorld, ObservationGeometry)
+{
+    SlamWorld world;
+    world.landmarks = {{3.0, 4.0}};
+    world.sensor_range = 100.0;
+    EkfNoise no_noise;
+    no_noise.range = 0.0;
+    no_noise.bearing = 0.0;
+    Rng rng(7);
+    auto observations =
+        world.observe(Pose2{0.0, 0.0, 0.0}, no_noise, rng);
+    ASSERT_EQ(observations.size(), 1u);
+    EXPECT_NEAR(observations[0].range, 5.0, 1e-12);
+    EXPECT_NEAR(observations[0].bearing, std::atan2(4.0, 3.0), 1e-12);
+}
+
+TEST(SlamWorld, SensorRangeFilters)
+{
+    SlamWorld world;
+    world.landmarks = {{1.0, 0.0}, {100.0, 0.0}};
+    world.sensor_range = 10.0;
+    EkfNoise noise;
+    Rng rng(8);
+    auto observations =
+        world.observe(Pose2{0.0, 0.0, 0.0}, noise, rng);
+    ASSERT_EQ(observations.size(), 1u);
+    EXPECT_EQ(observations[0].landmark_id, 0);
+}
+
+} // namespace
+} // namespace rtr

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the second batch of extensions: RRT-Connect, line-of-sight
+ * grid-path smoothing, and DMP temporal scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arm/cspace.h"
+#include "arm/workspace.h"
+#include "control/dmp.h"
+#include "geom/angle.h"
+#include "grid/map_gen.h"
+#include "plan/rrt.h"
+#include "plan/rrt_connect.h"
+#include "search/grid_planner2d.h"
+#include "search/path_smoothing.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+class RrtConnectTest : public ::testing::Test
+{
+  protected:
+    RrtConnectTest()
+        : arm_(PlanarArm::uniform({0.25, 0.0}, 4, 0.45)),
+          workspace_(makeMapC()),
+          space_(4, -kPi, kPi),
+          checker_(arm_, workspace_)
+    {
+        Rng rng(77);
+        start_ = sampleFree(rng);
+        do {
+            goal_ = sampleFree(rng);
+        } while (ConfigSpace::distance(start_, goal_) < 1.2);
+    }
+
+    ArmConfig
+    sampleFree(Rng &rng)
+    {
+        while (true) {
+            ArmConfig q = space_.sample(rng);
+            if (!checker_.configCollides(q))
+                return q;
+        }
+    }
+
+    PlanarArm arm_;
+    Workspace workspace_;
+    ConfigSpace space_;
+    ArmCollisionChecker checker_;
+    ArmConfig start_, goal_;
+};
+
+TEST_F(RrtConnectTest, FindsValidPath)
+{
+    RrtConnectPlanner planner(space_, checker_, {});
+    Rng rng(1);
+    MotionPlan plan = planner.plan(start_, goal_, rng);
+    ASSERT_TRUE(plan.found);
+    EXPECT_EQ(plan.path.front(), start_);
+    EXPECT_EQ(plan.path.back(), goal_);
+    for (std::size_t i = 0; i + 1 < plan.path.size(); ++i) {
+        EXPECT_FALSE(
+            checker_.motionCollides(plan.path[i], plan.path[i + 1],
+                                    0.05))
+            << "segment " << i;
+    }
+}
+
+TEST_F(RrtConnectTest, UsesFewerSamplesThanRrtOnAverage)
+{
+    RrtPlanner rrt(space_, checker_, {});
+    RrtConnectPlanner connect(space_, checker_, {});
+    double rrt_samples = 0.0, connect_samples = 0.0;
+    int both = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        Rng rng_a(seed), rng_b(seed);
+        MotionPlan a = rrt.plan(start_, goal_, rng_a);
+        MotionPlan b = connect.plan(start_, goal_, rng_b);
+        if (!a.found || !b.found)
+            continue;
+        ++both;
+        rrt_samples += static_cast<double>(a.samples_drawn);
+        connect_samples += static_cast<double>(b.samples_drawn);
+    }
+    ASSERT_GE(both, 4);
+    EXPECT_LT(connect_samples, rrt_samples);
+}
+
+TEST_F(RrtConnectTest, DeterministicGivenSeed)
+{
+    RrtConnectPlanner planner(space_, checker_, {});
+    Rng rng_a(3), rng_b(3);
+    MotionPlan a = planner.plan(start_, goal_, rng_a);
+    MotionPlan b = planner.plan(start_, goal_, rng_b);
+    ASSERT_EQ(a.found, b.found);
+    EXPECT_DOUBLE_EQ(a.cost, b.cost);
+    EXPECT_EQ(a.samples_drawn, b.samples_drawn);
+}
+
+TEST_F(RrtConnectTest, FailsOnCollidingEndpoint)
+{
+    RrtConnectPlanner planner(space_, checker_, {});
+    Rng rng(4);
+    ArmConfig bad(4, -kPi / 2.0);
+    EXPECT_FALSE(planner.plan(bad, goal_, rng).found);
+}
+
+TEST(PathSmoothing, LineOfSightDetectsBlockers)
+{
+    OccupancyGrid2D grid(16, 16, 1.0);
+    EXPECT_TRUE(hasLineOfSight(grid, {1, 1}, {14, 9}));
+    grid.setOccupied(8, 5);
+    EXPECT_FALSE(hasLineOfSight(grid, {1, 1}, {14, 9}));
+    // A path around it still sees its own segments.
+    EXPECT_TRUE(hasLineOfSight(grid, {1, 1}, {1, 14}));
+}
+
+TEST(PathSmoothing, NeverLengthensAndPreservesEndpoints)
+{
+    Rng rng(5);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        OccupancyGrid2D grid = makeRandomObstacleMap(48, 48, 0.12, seed);
+        GridPlanner2D planner(grid);
+        Cell2 start{2, 2}, goal{45, 44};
+        while (grid.occupied(start.x, start.y))
+            ++start.x;
+        while (grid.occupied(goal.x, goal.y))
+            --goal.x;
+        GridPlan2D plan = planner.plan(start, goal);
+        if (!plan.found)
+            continue;
+
+        std::vector<Cell2> smooth = smoothGridPath(grid, plan.path);
+        EXPECT_EQ(smooth.front(), plan.path.front());
+        EXPECT_EQ(smooth.back(), plan.path.back());
+        EXPECT_LE(smooth.size(), plan.path.size());
+        EXPECT_LE(gridPathLength(grid, smooth),
+                  gridPathLength(grid, plan.path) + 1e-9);
+        // Every smoothed segment is actually traversable.
+        for (std::size_t i = 0; i + 1 < smooth.size(); ++i)
+            EXPECT_TRUE(hasLineOfSight(grid, smooth[i], smooth[i + 1]));
+    }
+}
+
+TEST(PathSmoothing, StraightCorridorCollapsesToTwoPoints)
+{
+    OccupancyGrid2D grid(20, 5, 1.0);
+    std::vector<Cell2> path;
+    for (int x = 1; x < 19; ++x)
+        path.push_back({x, 2});
+    std::vector<Cell2> smooth = smoothGridPath(grid, path);
+    EXPECT_EQ(smooth.size(), 2u);
+}
+
+TEST(DmpTemporalScaling, SlowerRolloutSameShape)
+{
+    const int n = 200;
+    const double dt = 0.005;
+    std::vector<double> demo(n);
+    for (int i = 0; i < n; ++i) {
+        double t = static_cast<double>(i) / (n - 1);
+        demo[static_cast<std::size_t>(i)] =
+            t + 0.2 * std::sin(2.0 * kPi * t);
+    }
+    Dmp1D dmp;
+    dmp.fit(demo, dt);
+
+    DmpTrajectory normal = dmp.rollout(n, dt);
+    DmpTrajectory slow =
+        dmp.rolloutScaled(2 * n, dt, dmp.demoStart(), dmp.demoGoal(),
+                          2.0);
+
+    // Same spatial trajectory at half speed: slow[2k] ~= normal[k].
+    double max_err = 0.0;
+    for (int k = 0; k < n; k += 5) {
+        max_err = std::max(
+            max_err,
+            std::abs(slow.position[static_cast<std::size_t>(2 * k)] -
+                     normal.position[static_cast<std::size_t>(k)]));
+    }
+    EXPECT_LT(max_err, 0.05);
+
+    // Velocities shrink by ~the time scale.
+    double peak_normal = 0.0, peak_slow = 0.0;
+    for (double v : normal.velocity)
+        peak_normal = std::max(peak_normal, std::abs(v));
+    for (double v : slow.velocity)
+        peak_slow = std::max(peak_slow, std::abs(v));
+    EXPECT_NEAR(peak_slow, peak_normal / 2.0, 0.15 * peak_normal);
+}
+
+TEST(DmpTemporalScaling, FasterRolloutStillReachesGoal)
+{
+    const int n = 200;
+    const double dt = 0.005;
+    std::vector<double> demo(n);
+    for (int i = 0; i < n; ++i) {
+        double t = static_cast<double>(i) / (n - 1);
+        demo[static_cast<std::size_t>(i)] = 2.0 * t * t * (3 - 2 * t);
+    }
+    Dmp1D dmp;
+    dmp.fit(demo, dt);
+    DmpTrajectory fast =
+        dmp.rolloutScaled(n, dt, 0.0, 2.0, 0.5);
+    // At half the duration, the goal is reached well before the end.
+    EXPECT_NEAR(fast.position.back(), 2.0, 0.1);
+}
+
+} // namespace
+} // namespace rtr

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit and property tests for the geom library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/aabb.h"
+#include "geom/angle.h"
+#include "geom/pose.h"
+#include "geom/segment.h"
+#include "geom/vec2.h"
+#include "geom/vec3.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+TEST(Vec2, Arithmetic)
+{
+    Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+    EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+    EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+    EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+    EXPECT_EQ(2.0 * a, a * 2.0);
+    EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+    EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+}
+
+TEST(Vec2, NormAndDistance)
+{
+    Vec2 v{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(v.squaredNorm(), 25.0);
+    EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ((Vec2{0, 0}).distanceTo(v), 5.0);
+}
+
+TEST(Vec2, RotationPreservesNorm)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        Vec2 v{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+        double angle = rng.uniform(-kPi, kPi);
+        EXPECT_NEAR(v.rotated(angle).norm(), v.norm(), 1e-9);
+    }
+}
+
+TEST(Vec2, QuarterRotation)
+{
+    Vec2 v{1.0, 0.0};
+    Vec2 r = v.rotated(kPi / 2.0);
+    EXPECT_NEAR(r.x, 0.0, 1e-12);
+    EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec3, CrossProductProperties)
+{
+    Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+    EXPECT_EQ(x.cross(y), z);
+    EXPECT_EQ(y.cross(z), x);
+    EXPECT_EQ(z.cross(x), y);
+    Rng rng(5);
+    for (int i = 0; i < 20; ++i) {
+        Vec3 a{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        Vec3 b{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        Vec3 c = a.cross(b);
+        EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+        EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+    }
+}
+
+TEST(Angle, NormalizeIntoHalfOpenInterval)
+{
+    EXPECT_NEAR(normalizeAngle(3.0 * kPi), kPi, 1e-12);
+    EXPECT_NEAR(normalizeAngle(-3.0 * kPi), kPi, 1e-12);
+    EXPECT_NEAR(normalizeAngle(0.5), 0.5, 1e-12);
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+        double a = normalizeAngle(rng.uniform(-50.0, 50.0));
+        EXPECT_GT(a, -kPi - 1e-12);
+        EXPECT_LE(a, kPi + 1e-12);
+    }
+}
+
+TEST(Angle, DiffIsShortestSignedPath)
+{
+    EXPECT_NEAR(angleDiff(0.1, -0.1), 0.2, 1e-12);
+    EXPECT_NEAR(angleDiff(-kPi + 0.05, kPi - 0.05), 0.1, 1e-12);
+    EXPECT_NEAR(deg2rad(180.0), kPi, 1e-12);
+    EXPECT_NEAR(rad2deg(kPi / 2.0), 90.0, 1e-12);
+}
+
+TEST(Pose2, TransformComposesRotationAndTranslation)
+{
+    Pose2 pose{1.0, 2.0, kPi / 2.0};
+    Vec2 world = pose.transform({1.0, 0.0});
+    EXPECT_NEAR(world.x, 1.0, 1e-12);
+    EXPECT_NEAR(world.y, 3.0, 1e-12);
+    EXPECT_NEAR(pose.heading().x, 0.0, 1e-12);
+    EXPECT_NEAR(pose.heading().y, 1.0, 1e-12);
+}
+
+TEST(Segment, ObviousIntersections)
+{
+    Segment2 a{{0, 0}, {2, 2}};
+    Segment2 b{{0, 2}, {2, 0}};
+    EXPECT_TRUE(segmentsIntersect(a, b));
+
+    Segment2 c{{0, 0}, {1, 0}};
+    Segment2 d{{0, 1}, {1, 1}};
+    EXPECT_FALSE(segmentsIntersect(c, d));
+}
+
+TEST(Segment, SharedEndpointCounts)
+{
+    Segment2 a{{0, 0}, {1, 1}};
+    Segment2 b{{1, 1}, {2, 0}};
+    EXPECT_TRUE(segmentsIntersect(a, b));
+}
+
+TEST(Segment, ColinearOverlapDetected)
+{
+    Segment2 a{{0, 0}, {2, 0}};
+    Segment2 b{{1, 0}, {3, 0}};
+    EXPECT_TRUE(segmentsIntersect(a, b));
+    Segment2 c{{3, 0}, {4, 0}};
+    EXPECT_FALSE(segmentsIntersect(a, c));
+}
+
+TEST(Segment, IntersectionIsSymmetric)
+{
+    Rng rng(12);
+    for (int i = 0; i < 200; ++i) {
+        Segment2 a{{rng.uniform(0, 10), rng.uniform(0, 10)},
+                   {rng.uniform(0, 10), rng.uniform(0, 10)}};
+        Segment2 b{{rng.uniform(0, 10), rng.uniform(0, 10)},
+                   {rng.uniform(0, 10), rng.uniform(0, 10)}};
+        EXPECT_EQ(segmentsIntersect(a, b), segmentsIntersect(b, a));
+    }
+}
+
+TEST(Segment, PointDistance)
+{
+    Segment2 s{{0, 0}, {10, 0}};
+    EXPECT_DOUBLE_EQ(pointSegmentDistance({5, 3}, s), 3.0);
+    EXPECT_DOUBLE_EQ(pointSegmentDistance({-3, 4}, s), 5.0);
+    EXPECT_DOUBLE_EQ(pointSegmentDistance({12, 0}, s), 2.0);
+}
+
+TEST(Segment, AabbIntersection)
+{
+    Aabb2 box{{1, 1}, {3, 3}};
+    // Fully inside.
+    EXPECT_TRUE(segmentIntersectsAabb({{1.5, 1.5}, {2.5, 2.5}}, box));
+    // Crossing through.
+    EXPECT_TRUE(segmentIntersectsAabb({{0, 2}, {4, 2}}, box));
+    // Missing entirely.
+    EXPECT_FALSE(segmentIntersectsAabb({{0, 0}, {0.5, 4}}, box));
+    // Touching a corner.
+    EXPECT_TRUE(segmentIntersectsAabb({{0, 2}, {1, 1}}, box));
+}
+
+TEST(Aabb2, ContainsAndOverlaps)
+{
+    Aabb2 a{{0, 0}, {2, 2}};
+    Aabb2 b{{1, 1}, {3, 3}};
+    Aabb2 c{{2.5, 2.5}, {4, 4}};
+    EXPECT_TRUE(a.contains({1, 1}));
+    EXPECT_FALSE(a.contains({2.1, 1}));
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_EQ(a.center(), (Vec2{1, 1}));
+    EXPECT_DOUBLE_EQ(b.width(), 2.0);
+}
+
+TEST(Aabb3, RayIntersection)
+{
+    Aabb3 box{{1, -1, -1}, {2, 1, 1}};
+    double t = 0.0;
+    EXPECT_TRUE(box.intersectRay({0, 0, 0}, {1, 0, 0}, &t));
+    EXPECT_DOUBLE_EQ(t, 1.0);
+    EXPECT_FALSE(box.intersectRay({0, 0, 0}, {-1, 0, 0}, &t));
+    EXPECT_FALSE(box.intersectRay({0, 5, 0}, {1, 0, 0}, &t));
+    // Diagonal hit.
+    EXPECT_TRUE(box.intersectRay({0, 0, 0}, {1, 0.1, 0.1}, &t));
+}
+
+TEST(Aabb3, RayFromInside)
+{
+    Aabb3 box{{0, 0, 0}, {2, 2, 2}};
+    double t = -1.0;
+    EXPECT_TRUE(box.intersectRay({1, 1, 1}, {1, 0, 0}, &t));
+    EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+} // namespace
+} // namespace rtr

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for occupancy grids, map I/O, and the synthetic map generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "grid/map_gen.h"
+#include "grid/map_io.h"
+#include "grid/occupancy_grid2d.h"
+#include "grid/occupancy_grid3d.h"
+
+namespace rtr {
+namespace {
+
+TEST(OccupancyGrid2D, SetAndGet)
+{
+    OccupancyGrid2D grid(10, 8);
+    EXPECT_FALSE(grid.occupied(3, 3));
+    grid.setOccupied(3, 3);
+    EXPECT_TRUE(grid.occupied(3, 3));
+    grid.setOccupied(3, 3, false);
+    EXPECT_FALSE(grid.occupied(3, 3));
+}
+
+TEST(OccupancyGrid2D, OutOfBoundsIsOccupied)
+{
+    OccupancyGrid2D grid(4, 4);
+    EXPECT_TRUE(grid.occupied(-1, 0));
+    EXPECT_TRUE(grid.occupied(0, -1));
+    EXPECT_TRUE(grid.occupied(4, 0));
+    EXPECT_TRUE(grid.occupied(0, 4));
+    // Writes outside are ignored, not UB.
+    grid.setOccupied(-5, -5);
+    SUCCEED();
+}
+
+TEST(OccupancyGrid2D, WorldCellRoundTrip)
+{
+    OccupancyGrid2D grid(10, 10, 0.5, Vec2{-2.0, 3.0});
+    Cell2 cell = grid.worldToCell({-1.9, 3.1});
+    EXPECT_EQ(cell, (Cell2{0, 0}));
+    Vec2 center = grid.cellCenter({0, 0});
+    EXPECT_DOUBLE_EQ(center.x, -1.75);
+    EXPECT_DOUBLE_EQ(center.y, 3.25);
+    // Cell centers map back to their own cell.
+    for (int x = 0; x < 10; ++x) {
+        for (int y = 0; y < 10; ++y) {
+            EXPECT_EQ(grid.worldToCell(grid.cellCenter({x, y})),
+                      (Cell2{x, y}));
+        }
+    }
+}
+
+TEST(OccupancyGrid2D, Counters)
+{
+    OccupancyGrid2D grid(4, 4);
+    EXPECT_EQ(grid.freeCellCount(), 16u);
+    grid.setOccupied(0, 0);
+    grid.setOccupied(1, 1);
+    EXPECT_EQ(grid.freeCellCount(), 14u);
+    EXPECT_DOUBLE_EQ(grid.occupancyRatio(), 2.0 / 16.0);
+}
+
+TEST(OccupancyGrid3D, BasicOps)
+{
+    OccupancyGrid3D grid(4, 5, 6);
+    EXPECT_FALSE(grid.occupied(1, 2, 3));
+    grid.setOccupied(1, 2, 3);
+    EXPECT_TRUE(grid.occupied(1, 2, 3));
+    EXPECT_TRUE(grid.occupied(-1, 0, 0));
+    EXPECT_TRUE(grid.occupied(0, 0, 6));
+}
+
+TEST(OccupancyGrid3D, FillBox)
+{
+    OccupancyGrid3D grid(8, 8, 8);
+    grid.fillBox({1, 1, 1}, {3, 3, 3});
+    EXPECT_TRUE(grid.occupied(2, 2, 2));
+    EXPECT_TRUE(grid.occupied(1, 1, 1));
+    EXPECT_TRUE(grid.occupied(3, 3, 3));
+    EXPECT_FALSE(grid.occupied(4, 3, 3));
+    EXPECT_EQ(grid.freeCellCount(), 512u - 27u);
+    // Clamping against bounds must not crash.
+    grid.fillBox({-5, -5, -5}, {20, 20, 20}, false);
+    EXPECT_EQ(grid.freeCellCount(), 512u);
+}
+
+TEST(MapIo, RoundTrip)
+{
+    OccupancyGrid2D grid(5, 4);
+    grid.setOccupied(1, 2);
+    grid.setOccupied(4, 0);
+
+    std::stringstream stream;
+    saveMovingAiMap(grid, stream);
+    OccupancyGrid2D loaded = loadMovingAiMap(stream);
+
+    ASSERT_EQ(loaded.width(), 5);
+    ASSERT_EQ(loaded.height(), 4);
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 5; ++x)
+            EXPECT_EQ(loaded.occupied(x, y), grid.occupied(x, y))
+                << "(" << x << "," << y << ")";
+    }
+}
+
+TEST(MapIo, ParsesMovingAiFormat)
+{
+    std::stringstream stream(
+        "type octile\nheight 2\nwidth 3\nmap\n.@T\nG.S\n");
+    OccupancyGrid2D grid = loadMovingAiMap(stream);
+    ASSERT_EQ(grid.width(), 3);
+    ASSERT_EQ(grid.height(), 2);
+    // File row 0 is the top (y = 1): ". @ T".
+    EXPECT_FALSE(grid.occupied(0, 1));
+    EXPECT_TRUE(grid.occupied(1, 1));
+    EXPECT_TRUE(grid.occupied(2, 1));
+    // File row 1 is the bottom (y = 0): "G . S" (all passable).
+    EXPECT_FALSE(grid.occupied(0, 0));
+    EXPECT_FALSE(grid.occupied(1, 0));
+    EXPECT_FALSE(grid.occupied(2, 0));
+}
+
+TEST(MapGen, IndoorMapDeterministicAndWalled)
+{
+    OccupancyGrid2D a = makeIndoorMap(120, 80, 0.25, 7);
+    OccupancyGrid2D b = makeIndoorMap(120, 80, 0.25, 7);
+    EXPECT_EQ(a.cells(), b.cells());
+    OccupancyGrid2D c = makeIndoorMap(120, 80, 0.25, 8);
+    EXPECT_NE(a.cells(), c.cells());
+    // Perimeter walls.
+    for (int x = 0; x < a.width(); ++x) {
+        EXPECT_TRUE(a.occupied(x, 0));
+        EXPECT_TRUE(a.occupied(x, a.height() - 1));
+    }
+    // The map is neither empty nor full.
+    double ratio = a.occupancyRatio();
+    EXPECT_GT(ratio, 0.05);
+    EXPECT_LT(ratio, 0.6);
+}
+
+TEST(MapGen, CityMapHasStreetsAndBuildings)
+{
+    OccupancyGrid2D city = makeCityMap(256, 0.5, 3);
+    double ratio = city.occupancyRatio();
+    EXPECT_GT(ratio, 0.15);
+    EXPECT_LT(ratio, 0.9);
+}
+
+TEST(MapGen, PRobMapStructure)
+{
+    OccupancyGrid2D map = makePRobMap();
+    EXPECT_EQ(map.width(), 71);
+    EXPECT_EQ(map.height(), 71);
+    // World origin is (-10, -10).
+    EXPECT_TRUE(map.occupiedWorld({-10.0, 0.0}));   // left border
+    EXPECT_TRUE(map.occupiedWorld({20.0, 0.0}));    // first wall
+    EXPECT_FALSE(map.occupiedWorld({20.0, 50.0}));  // above first wall
+    EXPECT_TRUE(map.occupiedWorld({40.0, 50.0}));   // second wall
+    EXPECT_FALSE(map.occupiedWorld({40.0, 0.0}));   // below second wall
+    EXPECT_FALSE(map.occupiedWorld({10.0, 10.0}));  // start is free
+    EXPECT_FALSE(map.occupiedWorld({50.0, 50.0}));  // goal is free
+}
+
+TEST(MapGen, ScaleMapPreservesStructure)
+{
+    OccupancyGrid2D base = makeRandomObstacleMap(32, 32, 0.2, 5);
+    OccupancyGrid2D scaled = scaleMap(base, 4);
+    EXPECT_EQ(scaled.width(), 128);
+    EXPECT_EQ(scaled.height(), 128);
+    EXPECT_DOUBLE_EQ(scaled.resolution(), base.resolution() / 4.0);
+    // Same occupancy ratio and same world-space occupancy.
+    EXPECT_NEAR(scaled.occupancyRatio(), base.occupancyRatio(), 1e-12);
+    for (int y = 0; y < base.height(); ++y) {
+        for (int x = 0; x < base.width(); ++x) {
+            EXPECT_EQ(scaled.occupied(4 * x + 1, 4 * y + 2),
+                      base.occupied(x, y));
+        }
+    }
+}
+
+TEST(MapGen, Campus3DHasGroundAndAir)
+{
+    OccupancyGrid3D campus = makeCampus3D(64, 64, 16, 1.0, 11);
+    // The ground plane is solid.
+    for (int x = 0; x < 64; x += 7)
+        EXPECT_TRUE(campus.occupied(x, x % 64, 0));
+    // High altitude is mostly free.
+    std::size_t free_at_top = 0;
+    for (int x = 0; x < 64; ++x) {
+        for (int y = 0; y < 64; ++y)
+            free_at_top += !campus.occupied(x, y, 15);
+    }
+    EXPECT_GT(free_at_top, 64u * 64u / 2);
+}
+
+TEST(CostGrid, FieldProperties)
+{
+    CostGrid2D field = makeCostField(64, 64, 9, 1.0, 10.0, 0.05);
+    int impassable = 0;
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            double c = field.cost(x, y);
+            if (c >= CostGrid2D::kImpassable) {
+                ++impassable;
+            } else {
+                EXPECT_GE(c, 1.0);
+                EXPECT_LE(c, 10.0);
+            }
+        }
+    }
+    EXPECT_GT(impassable, 0);
+    EXPECT_LT(impassable, 64 * 64 / 4);
+    // Out of bounds is impassable.
+    EXPECT_FALSE(field.passable(-1, 0));
+    EXPECT_FALSE(field.passable(0, 64));
+}
+
+TEST(CostGrid, SetAndGet)
+{
+    CostGrid2D field(4, 4, 2.0);
+    EXPECT_DOUBLE_EQ(field.cost(1, 1), 2.0);
+    field.set(1, 1, 7.5);
+    EXPECT_DOUBLE_EQ(field.cost(1, 1), 7.5);
+    EXPECT_TRUE(field.passable(1, 1));
+    field.set(1, 1, CostGrid2D::kImpassable);
+    EXPECT_FALSE(field.passable(1, 1));
+}
+
+} // namespace
+} // namespace rtr

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the 2-D and 3-D grid planners: optimality, path validity,
+ * WA* suboptimality bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/map_gen.h"
+#include "search/grid_planner2d.h"
+#include "search/grid_planner3d.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+/** Assert every step of a 2-D path is 8-connected and collision-free. */
+void
+checkPath2D(const GridPlan2D &plan, const OccupancyGrid2D &grid,
+            const Cell2 &start, const Cell2 &goal)
+{
+    ASSERT_TRUE(plan.found);
+    ASSERT_GE(plan.path.size(), 1u);
+    EXPECT_EQ(plan.path.front(), start);
+    EXPECT_EQ(plan.path.back(), goal);
+    for (std::size_t i = 0; i + 1 < plan.path.size(); ++i) {
+        int dx = plan.path[i + 1].x - plan.path[i].x;
+        int dy = plan.path[i + 1].y - plan.path[i].y;
+        EXPECT_LE(std::abs(dx), 1);
+        EXPECT_LE(std::abs(dy), 1);
+        EXPECT_TRUE(std::abs(dx) + std::abs(dy) > 0);
+        EXPECT_FALSE(grid.occupied(plan.path[i].x, plan.path[i].y));
+    }
+}
+
+TEST(GridPlanner2D, StraightLineOnEmptyMap)
+{
+    OccupancyGrid2D grid(32, 32, 1.0);
+    GridPlanner2D planner(grid);
+    GridPlan2D plan = planner.plan({2, 2}, {12, 2});
+    checkPath2D(plan, grid, {2, 2}, {12, 2});
+    EXPECT_DOUBLE_EQ(plan.cost, 10.0);
+}
+
+TEST(GridPlanner2D, DiagonalCostsSqrt2)
+{
+    OccupancyGrid2D grid(16, 16, 1.0);
+    GridPlanner2D planner(grid);
+    GridPlan2D plan = planner.plan({1, 1}, {5, 5});
+    ASSERT_TRUE(plan.found);
+    EXPECT_NEAR(plan.cost, 4.0 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(GridPlanner2D, ResolutionScalesCost)
+{
+    OccupancyGrid2D grid(32, 32, 0.5);
+    GridPlanner2D planner(grid);
+    GridPlan2D plan = planner.plan({0, 0}, {10, 0});
+    ASSERT_TRUE(plan.found);
+    EXPECT_DOUBLE_EQ(plan.cost, 5.0);
+}
+
+TEST(GridPlanner2D, ReportsFailureWhenWalledOff)
+{
+    OccupancyGrid2D grid(16, 16, 1.0);
+    for (int y = 0; y < 16; ++y)
+        grid.setOccupied(8, y);
+    GridPlanner2D planner(grid);
+    GridPlan2D plan = planner.plan({2, 2}, {14, 2});
+    EXPECT_FALSE(plan.found);
+    EXPECT_GT(plan.expanded, 0u);
+}
+
+TEST(GridPlanner2D, InvalidEndpointsFailFast)
+{
+    OccupancyGrid2D grid(8, 8, 1.0);
+    grid.setOccupied(4, 4);
+    GridPlanner2D planner(grid);
+    EXPECT_FALSE(planner.plan({4, 4}, {1, 1}).found);
+    EXPECT_FALSE(planner.plan({1, 1}, {4, 4}).found);
+    EXPECT_FALSE(planner.plan({-1, 0}, {1, 1}).found);
+}
+
+TEST(GridPlanner2D, FootprintBlocksNarrowGap)
+{
+    OccupancyGrid2D grid(40, 40, 0.5);
+    // A wall with a 1-cell (0.5 m) gap: a point robot fits, a 2 m wide
+    // footprint does not.
+    for (int y = 0; y < 40; ++y) {
+        if (y != 20)
+            grid.setOccupied(20, y);
+    }
+    GridPlanner2D point_planner(grid);
+    EXPECT_TRUE(point_planner.plan({5, 20}, {35, 20}).found);
+
+    RectFootprint wide(2.0, 2.0);
+    GridPlanner2D wide_planner(grid, &wide);
+    EXPECT_FALSE(wide_planner.plan({5, 20}, {35, 20}).found);
+}
+
+/** Property sweep over random maps. */
+class Planner2DSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Planner2DSeeds, AStarMatchesDijkstraCost)
+{
+    OccupancyGrid2D grid = makeRandomObstacleMap(48, 48, 0.15, GetParam());
+    GridPlanner2D planner(grid);
+    Rng rng(GetParam() * 7);
+
+    for (int trial = 0; trial < 4; ++trial) {
+        Cell2 start{static_cast<int>(rng.intRange(1, 46)),
+                    static_cast<int>(rng.intRange(1, 46))};
+        Cell2 goal{static_cast<int>(rng.intRange(1, 46)),
+                   static_cast<int>(rng.intRange(1, 46))};
+        if (grid.occupied(start.x, start.y) ||
+            grid.occupied(goal.x, goal.y))
+            continue;
+
+        GridPlan2D astar = planner.plan(start, goal, 1.0);
+        GridPlan2D dijkstra = planner.plan(start, goal, 0.0);
+        EXPECT_EQ(astar.found, dijkstra.found);
+        if (astar.found) {
+            EXPECT_NEAR(astar.cost, dijkstra.cost, 1e-9);
+            EXPECT_LE(astar.expanded, dijkstra.expanded);
+            checkPath2D(astar, grid, start, goal);
+        }
+    }
+}
+
+TEST_P(Planner2DSeeds, WeightedAStarBoundedSuboptimality)
+{
+    OccupancyGrid2D grid = makeRandomObstacleMap(48, 48, 0.15, GetParam());
+    GridPlanner2D planner(grid);
+    Rng rng(GetParam() * 13);
+    const double epsilon = 2.5;
+
+    for (int trial = 0; trial < 4; ++trial) {
+        Cell2 start{static_cast<int>(rng.intRange(1, 46)),
+                    static_cast<int>(rng.intRange(1, 46))};
+        Cell2 goal{static_cast<int>(rng.intRange(1, 46)),
+                   static_cast<int>(rng.intRange(1, 46))};
+        if (grid.occupied(start.x, start.y) ||
+            grid.occupied(goal.x, goal.y))
+            continue;
+
+        GridPlan2D optimal = planner.plan(start, goal, 1.0);
+        GridPlan2D weighted = planner.plan(start, goal, epsilon);
+        EXPECT_EQ(optimal.found, weighted.found);
+        if (optimal.found) {
+            EXPECT_LE(weighted.cost, epsilon * optimal.cost + 1e-9);
+            EXPECT_GE(weighted.cost, optimal.cost - 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Planner2DSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(GridPlanner3D, StraightLine)
+{
+    OccupancyGrid3D grid(16, 16, 8, 1.0);
+    GridPlanner3D planner(grid);
+    GridPlan3D plan = planner.plan({1, 1, 1}, {10, 1, 1});
+    ASSERT_TRUE(plan.found);
+    EXPECT_DOUBLE_EQ(plan.cost, 9.0);
+    EXPECT_EQ(plan.path.front(), (Cell3{1, 1, 1}));
+    EXPECT_EQ(plan.path.back(), (Cell3{10, 1, 1}));
+}
+
+TEST(GridPlanner3D, FliesOverWall)
+{
+    OccupancyGrid3D grid(16, 16, 8, 1.0);
+    // Wall across x = 8 up to z = 5: path must climb to z >= 6.
+    for (int y = 0; y < 16; ++y) {
+        for (int z = 0; z <= 5; ++z)
+            grid.setOccupied(8, y, z);
+    }
+    GridPlanner3D planner(grid);
+    GridPlan3D plan = planner.plan({2, 8, 1}, {14, 8, 1});
+    ASSERT_TRUE(plan.found);
+    int max_z = 0;
+    for (const Cell3 &cell : plan.path) {
+        max_z = std::max(max_z, cell.z);
+        EXPECT_FALSE(grid.occupied(cell.x, cell.y, cell.z));
+    }
+    EXPECT_GE(max_z, 6);
+}
+
+TEST(GridPlanner3D, PathIs26Connected)
+{
+    OccupancyGrid3D grid = makeCampus3D(48, 48, 12, 1.0, 5);
+    GridPlanner3D planner(grid);
+    GridPlan3D plan = planner.plan({2, 2, 2}, {45, 45, 2});
+    ASSERT_TRUE(plan.found);
+    for (std::size_t i = 0; i + 1 < plan.path.size(); ++i) {
+        EXPECT_LE(std::abs(plan.path[i + 1].x - plan.path[i].x), 1);
+        EXPECT_LE(std::abs(plan.path[i + 1].y - plan.path[i].y), 1);
+        EXPECT_LE(std::abs(plan.path[i + 1].z - plan.path[i].z), 1);
+    }
+}
+
+TEST(GridPlanner3D, AStarMatchesDijkstra)
+{
+    OccupancyGrid3D grid = makeCampus3D(32, 32, 10, 1.0, 8);
+    GridPlanner3D planner(grid);
+    GridPlan3D astar = planner.plan({2, 2, 3}, {29, 29, 3}, 1.0);
+    GridPlan3D dijkstra = planner.plan({2, 2, 3}, {29, 29, 3}, 0.0);
+    ASSERT_EQ(astar.found, dijkstra.found);
+    if (astar.found) {
+        EXPECT_NEAR(astar.cost, dijkstra.cost, 1e-9);
+        EXPECT_LE(astar.expanded, dijkstra.expanded);
+    }
+}
+
+} // namespace
+} // namespace rtr

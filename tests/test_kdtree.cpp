@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the fixed- and runtime-dimension k-d trees, verified
+ * against brute-force oracles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pointcloud/dyn_kdtree.h"
+#include "pointcloud/kdtree.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+template <std::size_t Dim>
+std::vector<std::array<double, Dim>>
+randomPoints(std::size_t n, Rng &rng)
+{
+    std::vector<std::array<double, Dim>> points(n);
+    for (auto &p : points) {
+        for (std::size_t d = 0; d < Dim; ++d)
+            p[d] = rng.uniform(-10.0, 10.0);
+    }
+    return points;
+}
+
+TEST(KdTree, EmptyAndSize)
+{
+    KdTree<3> tree;
+    EXPECT_TRUE(tree.empty());
+    tree.insert({1, 2, 3}, 0);
+    EXPECT_EQ(tree.size(), 1u);
+    tree.clear();
+    EXPECT_TRUE(tree.empty());
+}
+
+TEST(KdTree, SinglePointNearest)
+{
+    KdTree<2> tree;
+    tree.insert({1.0, 1.0}, 42);
+    KdHit hit = tree.nearest({0.0, 0.0});
+    EXPECT_EQ(hit.id, 42u);
+    EXPECT_DOUBLE_EQ(hit.dist2, 2.0);
+}
+
+TEST(KdTree, BulkBuildNearestMatchesBruteForce)
+{
+    Rng rng(5);
+    auto points = randomPoints<3>(500, rng);
+    KdTree<3> tree;
+    tree.build(points);
+    for (int q = 0; q < 200; ++q) {
+        std::array<double, 3> query{rng.uniform(-12, 12),
+                                    rng.uniform(-12, 12),
+                                    rng.uniform(-12, 12)};
+        KdHit fast = tree.nearest(query);
+        KdHit slow = bruteForceNearest<3>(points, query);
+        EXPECT_DOUBLE_EQ(fast.dist2, slow.dist2);
+    }
+}
+
+TEST(KdTree, IncrementalInsertNearestMatchesBruteForce)
+{
+    Rng rng(6);
+    auto points = randomPoints<2>(300, rng);
+    KdTree<2> tree;
+    for (std::size_t i = 0; i < points.size(); ++i)
+        tree.insert(points[i], static_cast<std::uint32_t>(i));
+    for (int q = 0; q < 150; ++q) {
+        std::array<double, 2> query{rng.uniform(-12, 12),
+                                    rng.uniform(-12, 12)};
+        KdHit fast = tree.nearest(query);
+        KdHit slow = bruteForceNearest<2>(points, query);
+        EXPECT_DOUBLE_EQ(fast.dist2, slow.dist2);
+    }
+}
+
+TEST(KdTree, KNearestSortedAndComplete)
+{
+    Rng rng(7);
+    auto points = randomPoints<3>(200, rng);
+    KdTree<3> tree;
+    tree.build(points);
+
+    std::array<double, 3> query{0.0, 0.0, 0.0};
+    auto hits = tree.kNearest(query, 10);
+    ASSERT_EQ(hits.size(), 10u);
+    EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end(),
+                               [](const KdHit &a, const KdHit &b) {
+                                   return a.dist2 < b.dist2;
+                               }));
+
+    // Compare against sorted brute-force distances.
+    std::vector<double> all;
+    for (const auto &p : points) {
+        double d2 = 0.0;
+        for (int d = 0; d < 3; ++d)
+            d2 += p[static_cast<std::size_t>(d)] * p[static_cast<std::size_t>(d)];
+        all.push_back(d2);
+    }
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(hits[i].dist2, all[i]);
+}
+
+TEST(KdTree, KNearestWithSmallTree)
+{
+    KdTree<2> tree;
+    tree.insert({0, 0}, 0);
+    tree.insert({1, 0}, 1);
+    auto hits = tree.kNearest({0, 0}, 5);
+    EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(KdTree, RadiusSearchExact)
+{
+    Rng rng(8);
+    auto points = randomPoints<2>(400, rng);
+    KdTree<2> tree;
+    tree.build(points);
+
+    std::array<double, 2> query{1.0, -2.0};
+    double radius = 4.0;
+    auto hits = tree.radiusSearch(query, radius);
+
+    std::size_t expected = 0;
+    for (const auto &p : points) {
+        double dx = p[0] - query[0], dy = p[1] - query[1];
+        expected += (dx * dx + dy * dy) <= radius * radius;
+    }
+    EXPECT_EQ(hits.size(), expected);
+    for (const KdHit &hit : hits)
+        EXPECT_LE(hit.dist2, radius * radius);
+}
+
+/** DynKdTree must agree with brute force across dimensions. */
+class DynKdTreeDims : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(DynKdTreeDims, NearestMatchesBruteForce)
+{
+    const std::size_t dim = GetParam();
+    Rng rng(dim * 97 + 1);
+    DynKdTree tree(dim);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 400; ++i) {
+        std::vector<double> p(dim);
+        for (double &v : p)
+            v = rng.uniform(-3.0, 3.0);
+        tree.insert(p, static_cast<std::uint32_t>(i));
+        points.push_back(std::move(p));
+    }
+    for (int q = 0; q < 100; ++q) {
+        std::vector<double> query(dim);
+        for (double &v : query)
+            v = rng.uniform(-4.0, 4.0);
+        KdHit fast = tree.nearest(query);
+
+        double best = 1e300;
+        std::uint32_t best_id = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            double d2 = 0.0;
+            for (std::size_t d = 0; d < dim; ++d) {
+                double diff = points[i][d] - query[d];
+                d2 += diff * diff;
+            }
+            if (d2 < best) {
+                best = d2;
+                best_id = static_cast<std::uint32_t>(i);
+            }
+        }
+        EXPECT_DOUBLE_EQ(fast.dist2, best);
+        EXPECT_EQ(fast.id, best_id);
+    }
+}
+
+TEST_P(DynKdTreeDims, RadiusMatchesBruteForce)
+{
+    const std::size_t dim = GetParam();
+    Rng rng(dim * 131 + 7);
+    DynKdTree tree(dim);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 300; ++i) {
+        std::vector<double> p(dim);
+        for (double &v : p)
+            v = rng.uniform(-2.0, 2.0);
+        tree.insert(p, static_cast<std::uint32_t>(i));
+        points.push_back(std::move(p));
+    }
+    std::vector<double> query(dim, 0.5);
+    double radius = 1.2;
+    auto hits = tree.radiusSearch(query, radius);
+    std::size_t expected = 0;
+    for (const auto &p : points) {
+        double d2 = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            double diff = p[d] - query[d];
+            d2 += diff * diff;
+        }
+        expected += d2 <= radius * radius;
+    }
+    EXPECT_EQ(hits.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DynKdTreeDims,
+                         ::testing::Values(1, 2, 3, 5, 7));
+
+} // namespace
+} // namespace rtr

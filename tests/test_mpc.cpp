@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the MPC controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/mpc.h"
+#include "geom/angle.h"
+
+namespace rtr {
+namespace {
+
+TEST(UnicycleModel, StepIntegratesPose)
+{
+    UnicycleState state;
+    state.theta = 0.0;
+    UnicycleState next = MpcController::step(state, 1.0, 0.0, 0.5);
+    EXPECT_NEAR(next.x, 0.5, 1e-12);
+    EXPECT_NEAR(next.y, 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(next.v, 1.0);
+
+    UnicycleState turned = MpcController::step(state, 0.0, 1.0, 0.5);
+    EXPECT_NEAR(turned.theta, 0.5, 1e-12);
+}
+
+TEST(MpcSolve, DrivesTowardsReference)
+{
+    MpcConfig config;
+    MpcController controller(config);
+    UnicycleState state;
+    state.v = 1.0;
+    // Reference directly ahead.
+    std::vector<Vec2> reference;
+    for (int i = 0; i < config.horizon; ++i)
+        reference.push_back({0.1 * (i + 1), 0.0});
+    MpcSolution solution = controller.solve(state, reference);
+    ASSERT_EQ(solution.v.size(),
+              static_cast<std::size_t>(config.horizon));
+    // The first command moves forward, not backward.
+    EXPECT_GT(solution.v[0], 0.0);
+    EXPECT_GT(solution.cost_evals, 0u);
+}
+
+TEST(MpcSolve, RespectsVelocityBounds)
+{
+    MpcConfig config;
+    config.v_max = 1.5;
+    MpcController controller(config);
+    UnicycleState state;
+    // Reference racing away: optimizer would love v > v_max.
+    std::vector<Vec2> reference;
+    for (int i = 0; i < config.horizon; ++i)
+        reference.push_back({1.0 * (i + 1), 0.0});
+    MpcSolution solution = controller.solve(state, reference);
+    for (double v : solution.v) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, config.v_max + 1e-12);
+    }
+    for (double omega : solution.omega)
+        EXPECT_LE(std::abs(omega), config.omega_max + 1e-12);
+}
+
+TEST(MpcSolve, OptimizationImprovesOnZeroControls)
+{
+    MpcConfig config;
+    MpcController controller(config);
+    UnicycleState state;
+    state.v = 1.0;
+    std::vector<Vec2> reference;
+    for (int i = 0; i < config.horizon; ++i)
+        reference.push_back({0.1 * (i + 1), 0.05 * (i + 1)});
+    MpcSolution solution = controller.solve(state, reference);
+
+    // Cost of doing nothing (v = omega = 0): every step pays the full
+    // tracking deviation.
+    double idle_cost = 0.0;
+    UnicycleState idle = state;
+    for (int k = 0; k < config.horizon; ++k) {
+        idle = MpcController::step(idle, 0.0, 0.0, config.dt);
+        double dx = idle.x - reference[static_cast<std::size_t>(k)].x;
+        double dy = idle.y - reference[static_cast<std::size_t>(k)].y;
+        idle_cost += config.w_tracking * (dx * dx + dy * dy);
+        // Plus the smoothness penalty of the braking step.
+        if (k == 0)
+            idle_cost += config.w_smooth * state.v * state.v;
+    }
+    EXPECT_LT(solution.cost, idle_cost);
+}
+
+TEST(TrackTrajectory, FollowsStraightLineClosely)
+{
+    MpcConfig config;
+    MpcController controller(config);
+    std::vector<Vec2> reference;
+    for (int i = 0; i < 60; ++i)
+        reference.push_back({0.12 * i, 0.0});
+    UnicycleState start;
+    start.v = 1.2;
+    TrackingResult result =
+        trackTrajectory(controller, reference, start);
+    EXPECT_LT(result.avg_error, 0.1);
+    EXPECT_LE(result.max_velocity, config.v_max + 1e-9);
+    EXPECT_EQ(result.states.size(), reference.size());
+}
+
+TEST(TrackTrajectory, FollowsCurvedReference)
+{
+    MpcConfig config;
+    MpcController controller(config);
+    std::vector<Vec2> reference = makeReferenceTrajectory(80, 0.12);
+    UnicycleState start;
+    start.x = reference.front().x;
+    start.y = reference.front().y;
+    Vec2 dir = reference[1] - reference[0];
+    start.theta = std::atan2(dir.y, dir.x);
+    start.v = 1.2;
+    TrackingResult result =
+        trackTrajectory(controller, reference, start);
+    EXPECT_LT(result.avg_error, 0.15);
+    EXPECT_LT(result.max_error, 0.5);
+}
+
+TEST(TrackTrajectory, ProfilerDominatedByOptimize)
+{
+    MpcConfig config;
+    config.opt_iterations = 20;
+    MpcController controller(config);
+    std::vector<Vec2> reference = makeReferenceTrajectory(30, 0.12);
+    PhaseProfiler profiler;
+    UnicycleState start;
+    start.x = reference.front().x;
+    start.y = reference.front().y;
+    trackTrajectory(controller, reference, start, &profiler);
+    EXPECT_GT(profiler.phaseNs("optimize"),
+              profiler.phaseNs("simulate") * 10);
+}
+
+TEST(ReferenceTrajectory, SpacingRoughlyUniform)
+{
+    std::vector<Vec2> reference = makeReferenceTrajectory(100, 0.2);
+    ASSERT_EQ(reference.size(), 100u);
+    for (std::size_t i = 1; i < reference.size(); ++i) {
+        double step = reference[i].distanceTo(reference[i - 1]);
+        EXPECT_NEAR(step, 0.2, 1e-9);
+    }
+}
+
+} // namespace
+} // namespace rtr

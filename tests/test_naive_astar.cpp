@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the Fig. 21 baseline: the educational-style A* must be
+ * functionally identical to the production planner (same optimal
+ * costs), only slower.
+ */
+
+#include <gtest/gtest.h>
+
+#include "grid/map_gen.h"
+#include "search/grid_planner2d.h"
+#include "search/naive_astar.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+TEST(NaiveAStar, SolvesPRobMap)
+{
+    OccupancyGrid2D map = makePRobMap();
+    Cell2 start = map.worldToCell({10.0, 10.0});
+    Cell2 goal = map.worldToCell({50.0, 50.0});
+    baseline::NaivePlan plan = baseline::naiveAStar(map, start, goal);
+    ASSERT_TRUE(plan.found);
+    EXPECT_EQ(plan.path.front(), start);
+    EXPECT_EQ(plan.path.back(), goal);
+    EXPECT_GT(plan.expanded, 0u);
+}
+
+TEST(NaiveAStar, RejectsBlockedEndpoints)
+{
+    OccupancyGrid2D map(8, 8, 1.0);
+    map.setOccupied(4, 4);
+    EXPECT_FALSE(baseline::naiveAStar(map, {4, 4}, {1, 1}).found);
+    EXPECT_FALSE(baseline::naiveAStar(map, {1, 1}, {4, 4}).found);
+}
+
+TEST(NaiveAStar, ReportsFailureWhenWalledOff)
+{
+    OccupancyGrid2D map(12, 12, 1.0);
+    for (int y = 0; y < 12; ++y)
+        map.setOccupied(6, y);
+    EXPECT_FALSE(baseline::naiveAStar(map, {2, 6}, {10, 6}).found);
+}
+
+/** Property: same optimal costs as the production planner. */
+class NaiveVsProduction : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(NaiveVsProduction, EqualOptimalCosts)
+{
+    OccupancyGrid2D map =
+        makeRandomObstacleMap(32, 32, 0.15, GetParam());
+    GridPlanner2D planner(map);
+    Rng rng(GetParam() * 3 + 1);
+    for (int trial = 0; trial < 3; ++trial) {
+        Cell2 start{static_cast<int>(rng.intRange(1, 30)),
+                    static_cast<int>(rng.intRange(1, 30))};
+        Cell2 goal{static_cast<int>(rng.intRange(1, 30)),
+                   static_cast<int>(rng.intRange(1, 30))};
+        if (map.occupied(start.x, start.y) ||
+            map.occupied(goal.x, goal.y))
+            continue;
+
+        GridPlan2D fast = planner.plan(start, goal);
+        baseline::NaivePlan slow =
+            baseline::naiveAStar(map, start, goal);
+        ASSERT_EQ(fast.found, slow.found);
+        if (fast.found)
+            EXPECT_NEAR(fast.cost, slow.cost, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveVsProduction,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(NaiveAStar, PathIsEightConnectedAndFree)
+{
+    OccupancyGrid2D map = makeRandomObstacleMap(24, 24, 0.1, 9);
+    Cell2 start{1, 1}, goal{22, 22};
+    while (map.occupied(start.x, start.y))
+        ++start.x;
+    while (map.occupied(goal.x, goal.y))
+        --goal.x;
+    baseline::NaivePlan plan = baseline::naiveAStar(map, start, goal);
+    ASSERT_TRUE(plan.found);
+    for (std::size_t i = 0; i + 1 < plan.path.size(); ++i) {
+        EXPECT_LE(std::abs(plan.path[i + 1].x - plan.path[i].x), 1);
+        EXPECT_LE(std::abs(plan.path[i + 1].y - plan.path[i].y), 1);
+        EXPECT_FALSE(map.occupied(plan.path[i].x, plan.path[i].y));
+    }
+}
+
+} // namespace
+} // namespace rtr

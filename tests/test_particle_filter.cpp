@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for particle filter localization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/angle.h"
+#include "grid/map_gen.h"
+#include "grid/raycast.h"
+#include "perception/particle_filter.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+TEST(Odometry, ExactRoundTrip)
+{
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        Pose2 from{rng.uniform(-5, 5), rng.uniform(-5, 5),
+                   rng.uniform(-kPi, kPi)};
+        Pose2 to{from.x + rng.uniform(-1, 1), from.y + rng.uniform(-1, 1),
+                 rng.uniform(-kPi, kPi)};
+        OdometryReading odom = odometryBetween(from, to);
+        // Re-applying the decomposition recovers the target pose.
+        double heading = from.theta + odom.rot1;
+        Pose2 replay{from.x + odom.trans * std::cos(heading),
+                     from.y + odom.trans * std::sin(heading),
+                     normalizeAngle(heading + odom.rot2)};
+        EXPECT_NEAR(replay.x, to.x, 1e-9);
+        EXPECT_NEAR(replay.y, to.y, 1e-9);
+        EXPECT_NEAR(angleDiff(replay.theta, to.theta), 0.0, 1e-9);
+    }
+}
+
+TEST(Odometry, PureRotation)
+{
+    Pose2 from{1, 1, 0.0};
+    Pose2 to{1, 1, 1.0};
+    OdometryReading odom = odometryBetween(from, to);
+    EXPECT_NEAR(odom.trans, 0.0, 1e-12);
+    EXPECT_NEAR(odom.rot1 + odom.rot2, 1.0, 1e-9);
+}
+
+TEST(SimulatedScan, MatchesRaycastWithoutNoise)
+{
+    OccupancyGrid2D map = makeIndoorMap(100, 60, 0.25, 2);
+    Pose2 pose{map.origin().x + 12.0, map.origin().y + 7.5, 0.3};
+    Rng rng(3);
+    LaserScan scan = simulateScan(map, pose, 30, 10.0, 0.0, rng);
+    ASSERT_EQ(scan.ranges.size(), 30u);
+    double beam_step = scan.fov / 30;
+    for (int b = 0; b < 30; ++b) {
+        double angle = pose.theta + scan.start_angle + b * beam_step;
+        double expected = castRay(map, pose.position(), angle, 10.0);
+        EXPECT_NEAR(scan.ranges[static_cast<std::size_t>(b)], expected,
+                    1e-9);
+    }
+}
+
+class ParticleFilterTest : public ::testing::Test
+{
+  protected:
+    ParticleFilterTest() : map_(makeIndoorMap(160, 100, 0.25, 4)) {}
+
+    OccupancyGrid2D map_;
+};
+
+TEST_F(ParticleFilterTest, UniformInitCoversFreeSpace)
+{
+    ParticleFilter filter(map_, 500);
+    Rng rng(1);
+    filter.initializeUniform(rng);
+    for (const Particle &p : filter.particles()) {
+        EXPECT_FALSE(map_.occupiedWorld(p.pose.position()));
+        EXPECT_NEAR(p.weight, 1.0 / 500.0, 1e-12);
+    }
+    EXPECT_GT(filter.spread(), 3.0);
+}
+
+TEST_F(ParticleFilterTest, RegionInitRespectsRadiusAndHeading)
+{
+    ParticleFilter filter(map_, 300);
+    Rng rng(2);
+    Pose2 guess{20.0, 12.5, 0.5};
+    filter.initializeRegion(guess, 3.0, 0.2, rng);
+    for (const Particle &p : filter.particles()) {
+        EXPECT_LE(p.pose.position().distanceTo(guess.position()),
+                  3.0 + 1e-9);
+        EXPECT_LE(std::abs(angleDiff(p.pose.theta, guess.theta)),
+                  0.2 + 1e-9);
+    }
+}
+
+TEST_F(ParticleFilterTest, ResamplePreservesCountAndNormalizes)
+{
+    ParticleFilter filter(map_, 200);
+    Rng rng(3);
+    filter.initializeUniform(rng);
+    filter.resample(rng);
+    EXPECT_EQ(filter.particles().size(), 200u);
+    double total = 0.0;
+    for (const Particle &p : filter.particles())
+        total += p.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(ParticleFilterTest, MeasurementSharpensAroundTruth)
+{
+    // Particles spread around the truth; one scan should shift the
+    // estimate towards it.
+    Pose2 truth{20.0, 12.5, 0.0};
+    ASSERT_FALSE(map_.occupiedWorld(truth.position()));
+
+    ParticleFilter filter(map_, 800);
+    filter.setRandomInjection(0.0);
+    Rng rng(4);
+    filter.initializeRegion(truth, 2.5, 0.4, rng);
+    double spread_before = filter.spread();
+
+    // Several identical observations of a static robot concentrate the
+    // cloud (tempering makes a single update deliberately gentle).
+    Rng scan_rng(5);
+    for (int i = 0; i < 4; ++i) {
+        LaserScan scan =
+            simulateScan(map_, truth, 60, 10.0, 0.02, scan_rng);
+        filter.measurementUpdate(scan);
+        filter.resample(rng);
+    }
+
+    EXPECT_LT(filter.spread(), spread_before);
+    Pose2 estimate = filter.estimate();
+    EXPECT_LT(estimate.position().distanceTo(truth.position()), 1.0);
+}
+
+TEST_F(ParticleFilterTest, TrackingConvergesOverTrajectory)
+{
+    Rng world_rng(6);
+    // Straight drive along the central corridor.
+    std::vector<Pose2> truth;
+    Pose2 pose{map_.origin().x + 6.0,
+               map_.origin().y + map_.worldHeight() / 2.0, 0.0};
+    for (int t = 0; t < 30; ++t) {
+        truth.push_back(pose);
+        Pose2 next{pose.x + 0.3, pose.y, 0.0};
+        if (!map_.occupiedWorld(next.position()))
+            pose = next;
+    }
+
+    ParticleFilter filter(map_, 600);
+    Rng rng(7);
+    filter.initializeGaussian(truth.front(), 0.5, 0.2, rng);
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+        if (t > 0)
+            filter.motionUpdate(odometryBetween(truth[t - 1], truth[t]),
+                                rng);
+        LaserScan scan =
+            simulateScan(map_, truth[t], 40, 10.0, 0.05, world_rng);
+        filter.measurementUpdate(scan);
+        filter.resample(rng);
+    }
+    Pose2 estimate = filter.estimate();
+    EXPECT_LT(estimate.position().distanceTo(truth.back().position()),
+              0.6);
+    EXPECT_GT(filter.raysCast(), 600u * 40u * 20u);
+}
+
+TEST_F(ParticleFilterTest, ProfilerSeparatesRaycastAndWeight)
+{
+    ParticleFilter filter(map_, 100);
+    Rng rng(8);
+    filter.initializeUniform(rng);
+    PhaseProfiler profiler;
+    LaserScan scan = simulateScan(
+        map_, Pose2{15.0, 12.5, 0.0}, 30, 10.0, 0.0, rng);
+    filter.measurementUpdate(scan, &profiler);
+    EXPECT_GT(profiler.phaseNs("raycast"), 0);
+    EXPECT_GT(profiler.phaseNs("weight"), 0);
+    EXPECT_EQ(profiler.phaseCount("raycast"), 100);
+}
+
+TEST_F(ParticleFilterTest, MotionUpdateMovesParticles)
+{
+    ParticleFilter filter(map_, 50);
+    Rng rng(9);
+    filter.initializeGaussian(Pose2{15.0, 12.5, 0.0}, 0.1, 0.05, rng);
+    Pose2 before = filter.estimate();
+    OdometryReading odom;
+    odom.trans = 1.0;
+    filter.motionUpdate(odom, rng);
+    Pose2 after = filter.estimate();
+    EXPECT_NEAR(after.x - before.x, 1.0, 0.15);
+    EXPECT_NEAR(after.y - before.y, 0.0, 0.15);
+}
+
+} // namespace
+} // namespace rtr

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for PointCloud, rigid transforms, voxel downsampling, and
+ * normal estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/angle.h"
+#include "pointcloud/icp.h"
+#include "pointcloud/point_cloud.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+RigidTransform3
+randomTransform(Rng &rng)
+{
+    RigidTransform3 t;
+    t.rotation = rotationZ(rng.uniform(-kPi, kPi));
+    t.translation = {rng.uniform(-2, 2), rng.uniform(-2, 2),
+                     rng.uniform(-2, 2)};
+    return t;
+}
+
+TEST(RigidTransform, IdentityByDefault)
+{
+    RigidTransform3 t;
+    Vec3 p{1, 2, 3};
+    EXPECT_EQ(t.apply(p), p);
+}
+
+TEST(RigidTransform, ComposeMatchesSequentialApplication)
+{
+    Rng rng(3);
+    for (int i = 0; i < 30; ++i) {
+        RigidTransform3 a = randomTransform(rng);
+        RigidTransform3 b = randomTransform(rng);
+        Vec3 p{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        Vec3 via_compose = a.compose(b).apply(p);
+        Vec3 sequential = a.apply(b.apply(p));
+        EXPECT_NEAR((via_compose - sequential).norm(), 0.0, 1e-10);
+    }
+}
+
+TEST(RigidTransform, InverseUndoes)
+{
+    Rng rng(4);
+    for (int i = 0; i < 30; ++i) {
+        RigidTransform3 t = randomTransform(rng);
+        Vec3 p{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+        Vec3 back = t.inverted().apply(t.apply(p));
+        EXPECT_NEAR((back - p).norm(), 0.0, 1e-10);
+    }
+}
+
+TEST(RotationZ, KnownValues)
+{
+    Matrix r = rotationZ(kPi / 2.0);
+    RigidTransform3 t{r, Vec3{}};
+    Vec3 rotated = t.apply({1, 0, 0});
+    EXPECT_NEAR(rotated.x, 0.0, 1e-12);
+    EXPECT_NEAR(rotated.y, 1.0, 1e-12);
+    EXPECT_NEAR(rotated.z, 0.0, 1e-12);
+}
+
+TEST(Quaternion, IdentityAndKnownRotation)
+{
+    EXPECT_TRUE(rotationFromQuaternion(1, 0, 0, 0)
+                    .approxEquals(Matrix::identity(3)));
+    // Quaternion for 90 degrees about z: (cos45, 0, 0, sin45).
+    double c = std::cos(kPi / 4.0), s = std::sin(kPi / 4.0);
+    EXPECT_TRUE(rotationFromQuaternion(c, 0, 0, s)
+                    .approxEquals(rotationZ(kPi / 2.0), 1e-12));
+}
+
+TEST(Quaternion, UnnormalizedInputIsNormalized)
+{
+    Matrix a = rotationFromQuaternion(2, 0, 0, 0);
+    EXPECT_TRUE(a.approxEquals(Matrix::identity(3)));
+}
+
+TEST(PointCloud, CentroidAndTransform)
+{
+    PointCloud cloud({{0, 0, 0}, {2, 0, 0}, {0, 2, 0}, {2, 2, 0}});
+    EXPECT_EQ(cloud.centroid(), (Vec3{1, 1, 0}));
+
+    RigidTransform3 shift;
+    shift.translation = {1, 2, 3};
+    PointCloud moved = cloud.transformed(shift);
+    EXPECT_EQ(moved.centroid(), (Vec3{2, 3, 3}));
+    // Original untouched.
+    EXPECT_EQ(cloud.centroid(), (Vec3{1, 1, 0}));
+}
+
+TEST(PointCloud, AppendGrows)
+{
+    PointCloud a({{0, 0, 0}});
+    PointCloud b({{1, 1, 1}, {2, 2, 2}});
+    a.append(b);
+    EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(PointCloud, VoxelDownsampleMergesCoLocatedPoints)
+{
+    PointCloud cloud;
+    // 100 points inside one 1.0-voxel.
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        cloud.add({rng.uniform(0.0, 0.9), rng.uniform(0.0, 0.9),
+                   rng.uniform(0.0, 0.9)});
+    // And one far away.
+    cloud.add({10.0, 10.0, 10.0});
+    PointCloud down = cloud.voxelDownsampled(1.0);
+    EXPECT_EQ(down.size(), 2u);
+}
+
+TEST(PointCloud, VoxelDownsamplePreservesIsolatedPoints)
+{
+    PointCloud cloud({{0, 0, 0}, {5, 0, 0}, {0, 5, 0}, {-5, -5, -5}});
+    PointCloud down = cloud.voxelDownsampled(0.5);
+    EXPECT_EQ(down.size(), 4u);
+}
+
+TEST(Normals, FlatPlaneHasVerticalNormals)
+{
+    // Grid of points on z = 0, viewed from above.
+    PointCloud cloud;
+    for (int x = 0; x < 10; ++x) {
+        for (int y = 0; y < 10; ++y)
+            cloud.add({0.1 * x, 0.1 * y, 0.0});
+    }
+    std::vector<Vec3> normals = estimateNormals(cloud, 8, {0.5, 0.5, 5.0});
+    ASSERT_EQ(normals.size(), cloud.size());
+    for (const Vec3 &n : normals) {
+        EXPECT_NEAR(std::abs(n.z), 1.0, 1e-6);
+        EXPECT_GT(n.z, 0.0);  // oriented towards the viewpoint
+        EXPECT_NEAR(n.norm(), 1.0, 1e-9);
+    }
+}
+
+TEST(Normals, VerticalWallHasHorizontalNormals)
+{
+    PointCloud cloud;
+    for (int y = 0; y < 10; ++y) {
+        for (int z = 0; z < 10; ++z)
+            cloud.add({2.0, 0.1 * y, 0.1 * z});
+    }
+    std::vector<Vec3> normals =
+        estimateNormals(cloud, 8, {0.0, 0.5, 0.5});
+    for (const Vec3 &n : normals) {
+        EXPECT_NEAR(std::abs(n.x), 1.0, 1e-6);
+        EXPECT_LT(n.x, 0.0);  // towards the viewpoint at x = 0
+    }
+}
+
+} // namespace
+} // namespace rtr

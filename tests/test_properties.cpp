@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Cross-module property tests: algebraic identities, generator
+ * determinism, and admissibility-style invariants that tie modules
+ * together.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/map_gen.h"
+#include "linalg/decomp.h"
+#include "linalg/matrix.h"
+#include "search/grid_planner2d.h"
+#include "search/grid_planner3d.h"
+#include "symbolic/blocks_world.h"
+#include "symbolic/planner.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
+{
+    Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.uniform(-1, 1);
+    }
+    return m;
+}
+
+TEST(MatrixAlgebra, MultiplicationAssociative)
+{
+    Rng rng(1);
+    Matrix a = randomMatrix(4, 6, rng);
+    Matrix b = randomMatrix(6, 3, rng);
+    Matrix c = randomMatrix(3, 5, rng);
+    EXPECT_TRUE(((a * b) * c).approxEquals(a * (b * c), 1e-10));
+}
+
+TEST(MatrixAlgebra, MultiplicationDistributesOverAddition)
+{
+    Rng rng(2);
+    Matrix a = randomMatrix(4, 4, rng);
+    Matrix b = randomMatrix(4, 4, rng);
+    Matrix c = randomMatrix(4, 4, rng);
+    EXPECT_TRUE((a * (b + c)).approxEquals(a * b + a * c, 1e-10));
+}
+
+TEST(MatrixAlgebra, InverseOfProduct)
+{
+    Rng rng(3);
+    Matrix a = randomMatrix(5, 5, rng);
+    Matrix b = randomMatrix(5, 5, rng);
+    for (std::size_t i = 0; i < 5; ++i) {
+        a(i, i) += 3.0;
+        b(i, i) += 3.0;
+    }
+    // (AB)^-1 = B^-1 A^-1.
+    EXPECT_TRUE(inverse(a * b).approxEquals(inverse(b) * inverse(a),
+                                            1e-7));
+}
+
+/** Generators must be bitwise deterministic per seed. */
+class GeneratorSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GeneratorSeeds, CityMapDeterministic)
+{
+    OccupancyGrid2D a = makeCityMap(128, 0.5, GetParam());
+    OccupancyGrid2D b = makeCityMap(128, 0.5, GetParam());
+    EXPECT_EQ(a.cells(), b.cells());
+}
+
+TEST_P(GeneratorSeeds, CostFieldDeterministic)
+{
+    CostGrid2D a = makeCostField(48, 48, GetParam());
+    CostGrid2D b = makeCostField(48, 48, GetParam());
+    for (int y = 0; y < 48; ++y) {
+        for (int x = 0; x < 48; ++x)
+            ASSERT_DOUBLE_EQ(a.cost(x, y), b.cost(x, y));
+    }
+}
+
+TEST_P(GeneratorSeeds, Campus3DDeterministic)
+{
+    OccupancyGrid3D a = makeCampus3D(48, 48, 12, 1.0, GetParam());
+    OccupancyGrid3D b = makeCampus3D(48, 48, 12, 1.0, GetParam());
+    EXPECT_EQ(a.freeCellCount(), b.freeCellCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeeds,
+                         ::testing::Values(1, 7, 42));
+
+TEST(PlannerInvariants, PathCostAtLeastEuclidean)
+{
+    // The straight line lower-bounds any grid path — the admissibility
+    // fact the A* heuristic relies on.
+    OccupancyGrid2D map = makeRandomObstacleMap(40, 40, 0.15, 5);
+    GridPlanner2D planner(map);
+    Rng rng(6);
+    for (int trial = 0; trial < 10; ++trial) {
+        Cell2 start{static_cast<int>(rng.intRange(1, 38)),
+                    static_cast<int>(rng.intRange(1, 38))};
+        Cell2 goal{static_cast<int>(rng.intRange(1, 38)),
+                   static_cast<int>(rng.intRange(1, 38))};
+        if (map.occupied(start.x, start.y) ||
+            map.occupied(goal.x, goal.y))
+            continue;
+        GridPlan2D plan = planner.plan(start, goal);
+        if (!plan.found)
+            continue;
+        double dx = goal.x - start.x, dy = goal.y - start.y;
+        EXPECT_GE(plan.cost + 1e-9, std::sqrt(dx * dx + dy * dy));
+    }
+}
+
+TEST(PlannerInvariants, MoreObstaclesNeverShortenPaths)
+{
+    OccupancyGrid2D sparse = makeRandomObstacleMap(40, 40, 0.05, 11);
+    OccupancyGrid2D dense = sparse;
+    // Add extra blocks to the dense copy.
+    Rng rng(12);
+    for (int i = 0; i < 30; ++i) {
+        dense.setOccupied(static_cast<int>(rng.intRange(2, 37)),
+                          static_cast<int>(rng.intRange(2, 37)));
+    }
+    GridPlanner2D sparse_planner(sparse);
+    GridPlanner2D dense_planner(dense);
+    for (int trial = 0; trial < 8; ++trial) {
+        Cell2 start{static_cast<int>(rng.intRange(1, 38)),
+                    static_cast<int>(rng.intRange(1, 38))};
+        Cell2 goal{static_cast<int>(rng.intRange(1, 38)),
+                   static_cast<int>(rng.intRange(1, 38))};
+        GridPlan2D a = sparse_planner.plan(start, goal);
+        GridPlan2D b = dense_planner.plan(start, goal);
+        if (a.found && b.found)
+            EXPECT_LE(a.cost, b.cost + 1e-9);
+    }
+}
+
+TEST(PlannerInvariants, Planner3DCostAtLeastEuclidean)
+{
+    OccupancyGrid3D map = makeCampus3D(40, 40, 12, 1.0, 13);
+    GridPlanner3D planner(map);
+    GridPlan3D plan = planner.plan({2, 2, 2}, {37, 35, 4});
+    if (plan.found) {
+        double dx = 35.0, dy = 33.0, dz = 2.0;
+        EXPECT_GE(plan.cost + 1e-9,
+                  std::sqrt(dx * dx + dy * dy + dz * dz));
+    }
+}
+
+TEST(SymbolicInvariants, PlanLengthLowerBoundedByMisplacedBlocks)
+{
+    // Each action moves one block, so at least one action per block
+    // whose On() differs between initial and goal is required.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        SymbolicProblem problem = makeBlocksWorld(5, seed);
+        std::size_t misplaced = 0;
+        for (const Atom &atom : problem.goal)
+            misplaced += problem.initial.contains(atom) ? 0 : 1;
+        SymbolicPlanResult result = SymbolicPlanner(problem).plan();
+        ASSERT_TRUE(result.found);
+        EXPECT_GE(result.plan.size(), misplaced);
+    }
+}
+
+TEST(SymbolicInvariants, EpsilonOneFindsNoLongerPlansThanEpsilonThree)
+{
+    SymbolicProblem problem = makeBlocksWorld(6, 9);
+    SymbolicPlannerConfig tight;
+    tight.epsilon = 1.0;
+    SymbolicPlannerConfig loose;
+    loose.epsilon = 3.0;
+    SymbolicPlanResult a = SymbolicPlanner(problem, tight).plan();
+    SymbolicPlanResult b = SymbolicPlanner(problem, loose).plan();
+    ASSERT_TRUE(a.found);
+    ASSERT_TRUE(b.found);
+    // hAdd is inadmissible so no strict guarantee, but heavier
+    // inflation should never *shorten* the plan found.
+    EXPECT_LE(a.cost, b.cost + 1e-9);
+}
+
+} // namespace
+} // namespace rtr

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the DDA ray-caster, including a property sweep against the
+ * brute-force reference implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/angle.h"
+#include "grid/map_gen.h"
+#include "grid/raycast.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+OccupancyGrid2D
+boxWorld()
+{
+    // 20 x 20 room with walls on the border and a block at x:10..12,
+    // y:8..10.
+    OccupancyGrid2D grid(20, 20, 1.0);
+    for (int i = 0; i < 20; ++i) {
+        grid.setOccupied(i, 0);
+        grid.setOccupied(i, 19);
+        grid.setOccupied(0, i);
+        grid.setOccupied(19, i);
+    }
+    for (int x = 10; x <= 12; ++x) {
+        for (int y = 8; y <= 10; ++y)
+            grid.setOccupied(x, y);
+    }
+    return grid;
+}
+
+TEST(Raycast, AxisAlignedKnownDistances)
+{
+    OccupancyGrid2D grid = boxWorld();
+    Vec2 origin{5.5, 9.5};
+    // Ray along +x hits the block face at x = 10.
+    EXPECT_NEAR(castRay(grid, origin, 0.0, 100.0), 4.5, 1e-9);
+    // Ray along -x hits the left wall face at x = 1.
+    EXPECT_NEAR(castRay(grid, origin, kPi, 100.0), 4.5, 1e-9);
+    // Ray along +y hits the top wall face at y = 19.
+    EXPECT_NEAR(castRay(grid, origin, kPi / 2.0, 100.0), 9.5, 1e-9);
+}
+
+TEST(Raycast, MaxRangeWhenNothingHit)
+{
+    OccupancyGrid2D grid = boxWorld();
+    Vec2 origin{5.5, 5.5};
+    EXPECT_DOUBLE_EQ(castRay(grid, origin, kPi / 4.0, 2.0), 2.0);
+}
+
+TEST(Raycast, OriginInsideObstacleIsZero)
+{
+    OccupancyGrid2D grid = boxWorld();
+    EXPECT_DOUBLE_EQ(castRay(grid, {11.0, 9.0}, 0.3, 100.0), 0.0);
+}
+
+TEST(Raycast, DiagonalDistance)
+{
+    OccupancyGrid2D grid(10, 10, 1.0);
+    grid.setOccupied(5, 5);
+    // 45-degree ray from (3.5, 3.5) enters cell (5,5) at (5,5): the
+    // distance is sqrt(2) * 1.5.
+    double d = castRay(grid, {3.5, 3.5}, kPi / 4.0, 100.0);
+    EXPECT_NEAR(d, std::sqrt(2.0) * 1.5, 1e-9);
+}
+
+TEST(Raycast, ScanProducesOneRangePerBeam)
+{
+    OccupancyGrid2D grid = boxWorld();
+    std::vector<double> out;
+    castScan(grid, {9.5, 4.5}, -kPi, kTwoPi, 36, 50.0, out);
+    ASSERT_EQ(out.size(), 36u);
+    for (double r : out) {
+        EXPECT_GT(r, 0.0);
+        EXPECT_LE(r, 50.0);
+    }
+}
+
+TEST(Raycast, ResolutionIndependence)
+{
+    // The same world geometry at finer resolution gives the same
+    // distances.
+    OccupancyGrid2D coarse = boxWorld();
+    OccupancyGrid2D fine = scaleMap(coarse, 4);
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        Vec2 origin{rng.uniform(1.5, 8.5), rng.uniform(1.5, 7.5)};
+        double angle = rng.uniform(-kPi, kPi);
+        double dc = castRay(coarse, origin, angle, 40.0);
+        double df = castRay(fine, origin, angle, 40.0);
+        EXPECT_NEAR(dc, df, 1e-9) << "origin (" << origin.x << ","
+                                  << origin.y << ") angle " << angle;
+    }
+}
+
+/** Property sweep: DDA matches the brute-force small-step reference. */
+class RaycastVsReference : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RaycastVsReference, AgreesOnRandomMaps)
+{
+    Rng rng(GetParam());
+    OccupancyGrid2D grid = makeRandomObstacleMap(48, 48, 0.15, GetParam());
+    int tested = 0;
+    while (tested < 60) {
+        Vec2 origin{rng.uniform(1.0, 47.0), rng.uniform(1.0, 47.0)};
+        if (grid.occupiedWorld(origin))
+            continue;
+        ++tested;
+        double angle = rng.uniform(-kPi, kPi);
+        double fast = castRay(grid, origin, angle, 30.0);
+        double slow = castRayReference(grid, origin, angle, 30.0);
+        // The reference steps at resolution/50, so tolerate that much.
+        EXPECT_NEAR(fast, slow, grid.resolution() * 0.05)
+            << "origin (" << origin.x << "," << origin.y << ") angle "
+            << angle;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaycastVsReference,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace rtr

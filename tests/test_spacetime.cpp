@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the backward-Dijkstra heuristic and the moving-target
+ * space-time planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "search/dijkstra_heuristic.h"
+#include "search/spacetime_planner.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+TEST(DijkstraHeuristic, ZeroAtSourcesMonotoneOutward)
+{
+    CostGrid2D field(16, 16, 1.0);
+    DijkstraHeuristic heuristic(field, {{8, 8}});
+    EXPECT_DOUBLE_EQ(heuristic.costToSource({8, 8}), 0.0);
+    EXPECT_GT(heuristic.costToSource({9, 8}), 0.0);
+    EXPECT_GT(heuristic.costToSource({12, 8}),
+              heuristic.costToSource({10, 8}));
+}
+
+TEST(DijkstraHeuristic, UniformFieldMatchesOctileDistance)
+{
+    CostGrid2D field(32, 32, 1.0);
+    DijkstraHeuristic heuristic(field, {{0, 0}});
+    // Octile distance on a unit-cost field.
+    for (int x = 0; x < 8; ++x) {
+        for (int y = 0; y < 8; ++y) {
+            int dmax = std::max(x, y), dmin = std::min(x, y);
+            double expected = (dmax - dmin) + std::sqrt(2.0) * dmin;
+            EXPECT_NEAR(heuristic.costToSource({x, y}), expected, 1e-9);
+        }
+    }
+}
+
+TEST(DijkstraHeuristic, RespectsImpassableCells)
+{
+    CostGrid2D field(16, 3, 1.0);
+    // Full-height wall at x = 8.
+    for (int y = 0; y < 3; ++y)
+        field.set(8, y, CostGrid2D::kImpassable);
+    DijkstraHeuristic heuristic(field, {{0, 1}});
+    EXPECT_FALSE(heuristic.reachable({12, 1}));
+    EXPECT_TRUE(heuristic.reachable({7, 1}));
+}
+
+TEST(DijkstraHeuristic, MultiSourceTakesNearest)
+{
+    CostGrid2D field(32, 32, 1.0);
+    DijkstraHeuristic multi(field, {{0, 0}, {31, 0}});
+    DijkstraHeuristic left(field, {{0, 0}});
+    DijkstraHeuristic right(field, {{31, 0}});
+    for (int x = 0; x < 32; x += 5) {
+        Cell2 c{x, 3};
+        EXPECT_NEAR(multi.costToSource(c),
+                    std::min(left.costToSource(c),
+                             right.costToSource(c)),
+                    1e-9);
+    }
+}
+
+TEST(DijkstraHeuristic, CostsWeightEdges)
+{
+    CostGrid2D field(8, 1, 1.0);
+    field.set(3, 0, 9.0);  // expensive cell on the only path
+    DijkstraHeuristic heuristic(field, {{0, 0}});
+    // Cost through cells: edges average adjacent cell costs.
+    double expected = 0.5 * (1 + 1) + 0.5 * (1 + 1) + 0.5 * (1 + 9) +
+                      0.5 * (9 + 1) + 0.5 * (1 + 1);
+    EXPECT_NEAR(heuristic.costToSource({5, 0}), expected, 1e-9);
+}
+
+TEST(Movtar, CatchesStationaryTarget)
+{
+    CostGrid2D field(24, 24, 1.0);
+    MovingTargetProblem problem;
+    problem.field = &field;
+    problem.target_trajectory.assign(5, Cell2{20, 20});
+    problem.robot_start = {2, 2};
+    SpacetimePlan plan = planMovingTarget(problem);
+    ASSERT_TRUE(plan.found);
+    EXPECT_EQ(plan.path.back().cell, (Cell2{20, 20}));
+    // 8-connected meet: 18 diagonal steps needed.
+    EXPECT_GE(plan.catch_time, 18);
+}
+
+TEST(Movtar, PathIsTimeConsistent)
+{
+    CostGrid2D field = makeCostField(32, 32, 3);
+    Cell2 target_start{25, 25};
+    while (!field.passable(target_start.x, target_start.y))
+        target_start.x -= 1;
+    MovingTargetProblem problem;
+    problem.field = &field;
+    problem.target_trajectory =
+        makeTargetTrajectory(field, target_start, 60, 4);
+    Cell2 robot{3, 3};
+    while (!field.passable(robot.x, robot.y))
+        robot.x += 1;
+    problem.robot_start = robot;
+
+    SpacetimePlan plan = planMovingTarget(problem);
+    ASSERT_TRUE(plan.found);
+    // Time increases by exactly 1 per step; moves are 8-connected (or
+    // waiting); every visited cell is passable.
+    for (std::size_t i = 0; i + 1 < plan.path.size(); ++i) {
+        EXPECT_EQ(plan.path[i + 1].time, plan.path[i].time + 1);
+        EXPECT_LE(std::abs(plan.path[i + 1].cell.x - plan.path[i].cell.x),
+                  1);
+        EXPECT_LE(std::abs(plan.path[i + 1].cell.y - plan.path[i].cell.y),
+                  1);
+        EXPECT_TRUE(field.passable(plan.path[i].cell.x,
+                                   plan.path[i].cell.y));
+    }
+    // The catch is real: robot and target coincide at catch time.
+    const auto &traj = problem.target_trajectory;
+    Cell2 target_at_catch =
+        plan.catch_time < static_cast<int>(traj.size())
+            ? traj[static_cast<std::size_t>(plan.catch_time)]
+            : traj.back();
+    EXPECT_EQ(plan.path.back().cell, target_at_catch);
+}
+
+TEST(Movtar, LowerEpsilonNeverCostsMore)
+{
+    CostGrid2D field = makeCostField(40, 40, 7);
+    Cell2 target_start{32, 32};
+    while (!field.passable(target_start.x, target_start.y))
+        target_start.x -= 1;
+    Cell2 robot{4, 4};
+    while (!field.passable(robot.x, robot.y))
+        robot.x += 1;
+
+    MovingTargetProblem problem;
+    problem.field = &field;
+    problem.target_trajectory =
+        makeTargetTrajectory(field, target_start, 80, 9);
+    problem.robot_start = robot;
+
+    problem.epsilon = 1.0;
+    SpacetimePlan tight = planMovingTarget(problem);
+    problem.epsilon = 3.0;
+    SpacetimePlan loose = planMovingTarget(problem);
+    ASSERT_TRUE(tight.found);
+    ASSERT_TRUE(loose.found);
+    EXPECT_LE(tight.cost, loose.cost + 1e-9);
+    // The inflated search typically expands fewer nodes.
+    EXPECT_LE(loose.expanded, tight.expanded * 2);
+}
+
+TEST(Movtar, ImpossibleWhenRobotSealedOff)
+{
+    CostGrid2D field(16, 16, 1.0);
+    for (int x = 0; x < 16; ++x)
+        field.set(x, 8, CostGrid2D::kImpassable);
+    MovingTargetProblem problem;
+    problem.field = &field;
+    problem.target_trajectory.assign(4, Cell2{8, 14});
+    problem.robot_start = {8, 2};
+    problem.time_slack = 64;
+    SpacetimePlan plan = planMovingTarget(problem);
+    EXPECT_FALSE(plan.found);
+}
+
+TEST(TargetTrajectory, StaysPassableAndConnected)
+{
+    CostGrid2D field = makeCostField(48, 48, 11);
+    Cell2 start{24, 24};
+    while (!field.passable(start.x, start.y))
+        start.x += 1;
+    auto traj = makeTargetTrajectory(field, start, 100, 13);
+    ASSERT_EQ(traj.size(), 100u);
+    EXPECT_EQ(traj.front(), start);
+    for (std::size_t i = 0; i < traj.size(); ++i) {
+        EXPECT_TRUE(field.passable(traj[i].x, traj[i].y));
+        if (i > 0) {
+            EXPECT_LE(std::abs(traj[i].x - traj[i - 1].x), 1);
+            EXPECT_LE(std::abs(traj[i].y - traj[i - 1].y), 1);
+        }
+    }
+}
+
+} // namespace
+} // namespace rtr

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the util library: argument parsing, profiler,
+ * statistics, table rendering, RNG determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/args.h"
+#include "util/profiler.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace rtr {
+namespace {
+
+TEST(ArgParser, DefaultsSurviveWithoutArguments)
+{
+    ArgParser parser("tool");
+    parser.addOption("samples", "100", "sample count");
+    parser.addFlag("verbose", "chatty output");
+    parser.parse(std::vector<std::string>{});
+    EXPECT_EQ(parser.get("samples"), "100");
+    EXPECT_EQ(parser.getInt("samples"), 100);
+    EXPECT_FALSE(parser.getFlag("verbose"));
+    EXPECT_FALSE(parser.isSet("samples"));
+}
+
+TEST(ArgParser, ParsesSeparateAndInlineValues)
+{
+    ArgParser parser("tool");
+    parser.addOption("epsilon", "1.0", "weight");
+    parser.addOption("map", "C", "map name");
+    parser.parse({"--epsilon", "2.5", "--map=F"});
+    EXPECT_DOUBLE_EQ(parser.getDouble("epsilon"), 2.5);
+    EXPECT_EQ(parser.get("map"), "F");
+    EXPECT_TRUE(parser.isSet("epsilon"));
+}
+
+TEST(ArgParser, ParsesFlags)
+{
+    ArgParser parser("tool");
+    parser.addFlag("global", "use global init");
+    parser.parse({"--global"});
+    EXPECT_TRUE(parser.getFlag("global"));
+}
+
+TEST(ArgParser, UsageMentionsEveryOption)
+{
+    ArgParser parser("rrt.out");
+    parser.addOption("bias", "0.05", "Random number generation bias");
+    parser.addOption("samples", "1000", "Maximum samples");
+    parser.addFlag("quiet", "No output");
+    std::string usage = parser.usage();
+    EXPECT_NE(usage.find("--bias"), std::string::npos);
+    EXPECT_NE(usage.find("--samples"), std::string::npos);
+    EXPECT_NE(usage.find("--quiet"), std::string::npos);
+    EXPECT_NE(usage.find("--help"), std::string::npos);
+    EXPECT_NE(usage.find("USAGE"), std::string::npos);
+}
+
+TEST(ArgParser, NegativeNumbersParse)
+{
+    ArgParser parser("tool");
+    parser.addOption("offset", "0", "signed value");
+    parser.parse({"--offset", "-42"});
+    EXPECT_EQ(parser.getInt("offset"), -42);
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i)
+        same += a.uniform() == b.uniform();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRespectsRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, IntRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.intRange(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalHasRequestedMoments)
+{
+    Rng rng(11);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(rng.normal(5.0, 2.0));
+    EXPECT_NEAR(stat.mean(), 5.0, 0.1);
+    EXPECT_NEAR(stat.stddev(), 2.0, 0.1);
+}
+
+TEST(Profiler, AccumulatesPhases)
+{
+    PhaseProfiler profiler;
+    profiler.begin("work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    profiler.end();
+    EXPECT_GT(profiler.phaseNs("work"), 1000000);
+    EXPECT_EQ(profiler.phaseCount("work"), 1);
+    EXPECT_EQ(profiler.phaseNs("absent"), 0);
+}
+
+TEST(Profiler, NestedPhasesBothAccumulate)
+{
+    PhaseProfiler profiler;
+    profiler.begin("outer");
+    profiler.begin("inner");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    profiler.end();
+    profiler.end();
+    EXPECT_GE(profiler.phaseNs("outer"), profiler.phaseNs("inner"));
+    EXPECT_GT(profiler.phaseNs("inner"), 0);
+}
+
+TEST(Profiler, MergeAddsTotals)
+{
+    PhaseProfiler a, b;
+    a.begin("x");
+    a.end();
+    b.begin("x");
+    b.end();
+    b.begin("y");
+    b.end();
+    a.merge(b);
+    EXPECT_EQ(a.phaseCount("x"), 2);
+    EXPECT_EQ(a.phaseCount("y"), 1);
+}
+
+TEST(Profiler, ScopedPhaseHandlesNull)
+{
+    // Must not crash when no profiler is attached.
+    ScopedPhase phase(nullptr, "anything");
+    SUCCEED();
+}
+
+TEST(Profiler, FractionOf)
+{
+    PhaseProfiler profiler;
+    profiler.begin("p");
+    profiler.end();
+    EXPECT_GE(profiler.fractionOf("p", 1000000000), 0.0);
+    EXPECT_EQ(profiler.fractionOf("p", 0), 0.0);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat stat;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(v);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_NEAR(stat.stddev(), 2.138, 0.01);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_EQ(stat.count(), 8u);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes)
+{
+    std::vector<double> samples{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(samples, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(samples, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(samples, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenSamples)
+{
+    std::vector<double> samples{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(samples, 0.25), 2.5);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"beta", "22"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(0.5, 1), "50.0%");
+    EXPECT_EQ(Table::count(1234567), "1,234,567");
+    EXPECT_EQ(Table::count(-1000), "-1,000");
+    EXPECT_EQ(Table::count(7), "7");
+}
+
+TEST(Stopwatch, MeasuresElapsed)
+{
+    Stopwatch timer;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_GE(timer.elapsedNs(), 4000000);
+    timer.restart();
+    EXPECT_LT(timer.elapsedNs(), 4000000);
+}
+
+} // namespace
+} // namespace rtr
