@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_01_pfl.dir/bench_01_pfl.cpp.o"
+  "CMakeFiles/bench_01_pfl.dir/bench_01_pfl.cpp.o.d"
+  "bench_01_pfl"
+  "bench_01_pfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_01_pfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

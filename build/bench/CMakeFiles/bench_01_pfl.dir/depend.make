@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_01_pfl.
+# This may be replaced when dependencies are built.

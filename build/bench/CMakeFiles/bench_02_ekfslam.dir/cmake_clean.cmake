@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_02_ekfslam.dir/bench_02_ekfslam.cpp.o"
+  "CMakeFiles/bench_02_ekfslam.dir/bench_02_ekfslam.cpp.o.d"
+  "bench_02_ekfslam"
+  "bench_02_ekfslam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_02_ekfslam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_03_srec.dir/bench_03_srec.cpp.o"
+  "CMakeFiles/bench_03_srec.dir/bench_03_srec.cpp.o.d"
+  "bench_03_srec"
+  "bench_03_srec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_03_srec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

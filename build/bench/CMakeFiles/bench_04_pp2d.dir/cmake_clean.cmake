@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_04_pp2d.dir/bench_04_pp2d.cpp.o"
+  "CMakeFiles/bench_04_pp2d.dir/bench_04_pp2d.cpp.o.d"
+  "bench_04_pp2d"
+  "bench_04_pp2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_04_pp2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

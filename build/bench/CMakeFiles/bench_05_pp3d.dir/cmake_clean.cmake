@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_05_pp3d.dir/bench_05_pp3d.cpp.o"
+  "CMakeFiles/bench_05_pp3d.dir/bench_05_pp3d.cpp.o.d"
+  "bench_05_pp3d"
+  "bench_05_pp3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_05_pp3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

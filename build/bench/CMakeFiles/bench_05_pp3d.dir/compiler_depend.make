@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_05_pp3d.
+# This may be replaced when dependencies are built.

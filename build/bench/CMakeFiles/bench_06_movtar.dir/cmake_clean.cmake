@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_06_movtar.dir/bench_06_movtar.cpp.o"
+  "CMakeFiles/bench_06_movtar.dir/bench_06_movtar.cpp.o.d"
+  "bench_06_movtar"
+  "bench_06_movtar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_06_movtar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

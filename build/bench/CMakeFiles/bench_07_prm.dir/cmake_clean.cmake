@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_07_prm.dir/bench_07_prm.cpp.o"
+  "CMakeFiles/bench_07_prm.dir/bench_07_prm.cpp.o.d"
+  "bench_07_prm"
+  "bench_07_prm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_07_prm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_08_rrt.dir/bench_08_rrt.cpp.o"
+  "CMakeFiles/bench_08_rrt.dir/bench_08_rrt.cpp.o.d"
+  "bench_08_rrt"
+  "bench_08_rrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_08_rrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_09_rrtstar.dir/bench_09_rrtstar.cpp.o"
+  "CMakeFiles/bench_09_rrtstar.dir/bench_09_rrtstar.cpp.o.d"
+  "bench_09_rrtstar"
+  "bench_09_rrtstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_09_rrtstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

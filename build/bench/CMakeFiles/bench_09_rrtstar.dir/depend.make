@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_09_rrtstar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_10_rrtpp.dir/bench_10_rrtpp.cpp.o"
+  "CMakeFiles/bench_10_rrtpp.dir/bench_10_rrtpp.cpp.o.d"
+  "bench_10_rrtpp"
+  "bench_10_rrtpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_10_rrtpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

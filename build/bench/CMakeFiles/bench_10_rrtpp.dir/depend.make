@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_10_rrtpp.
+# This may be replaced when dependencies are built.

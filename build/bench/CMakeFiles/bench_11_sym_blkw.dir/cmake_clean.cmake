@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_11_sym_blkw.dir/bench_11_sym_blkw.cpp.o"
+  "CMakeFiles/bench_11_sym_blkw.dir/bench_11_sym_blkw.cpp.o.d"
+  "bench_11_sym_blkw"
+  "bench_11_sym_blkw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_11_sym_blkw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_11_sym_blkw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_11_sym_blkw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_12_sym_fext.dir/bench_12_sym_fext.cpp.o"
+  "CMakeFiles/bench_12_sym_fext.dir/bench_12_sym_fext.cpp.o.d"
+  "bench_12_sym_fext"
+  "bench_12_sym_fext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_12_sym_fext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_12_sym_fext.
+# This may be replaced when dependencies are built.

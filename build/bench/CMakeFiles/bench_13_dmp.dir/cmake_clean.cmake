@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_13_dmp.dir/bench_13_dmp.cpp.o"
+  "CMakeFiles/bench_13_dmp.dir/bench_13_dmp.cpp.o.d"
+  "bench_13_dmp"
+  "bench_13_dmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_13_dmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

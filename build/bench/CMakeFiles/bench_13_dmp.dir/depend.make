@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_13_dmp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_14_mpc.dir/bench_14_mpc.cpp.o"
+  "CMakeFiles/bench_14_mpc.dir/bench_14_mpc.cpp.o.d"
+  "bench_14_mpc"
+  "bench_14_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_14_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_15_cem.dir/bench_15_cem.cpp.o"
+  "CMakeFiles/bench_15_cem.dir/bench_15_cem.cpp.o.d"
+  "bench_15_cem"
+  "bench_15_cem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_15_cem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

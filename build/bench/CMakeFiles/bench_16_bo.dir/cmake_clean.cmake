@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_16_bo.dir/bench_16_bo.cpp.o"
+  "CMakeFiles/bench_16_bo.dir/bench_16_bo.cpp.o.d"
+  "bench_16_bo"
+  "bench_16_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_16_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_connect.dir/bench_abl_connect.cpp.o"
+  "CMakeFiles/bench_abl_connect.dir/bench_abl_connect.cpp.o.d"
+  "bench_abl_connect"
+  "bench_abl_connect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_connect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

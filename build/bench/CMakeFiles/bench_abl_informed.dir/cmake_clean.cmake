@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_informed.dir/bench_abl_informed.cpp.o"
+  "CMakeFiles/bench_abl_informed.dir/bench_abl_informed.cpp.o.d"
+  "bench_abl_informed"
+  "bench_abl_informed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_informed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

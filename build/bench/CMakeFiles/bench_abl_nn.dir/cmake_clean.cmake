@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_nn.dir/bench_abl_nn.cpp.o"
+  "CMakeFiles/bench_abl_nn.dir/bench_abl_nn.cpp.o.d"
+  "bench_abl_nn"
+  "bench_abl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

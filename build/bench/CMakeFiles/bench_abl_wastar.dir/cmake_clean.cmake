@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_wastar.dir/bench_abl_wastar.cpp.o"
+  "CMakeFiles/bench_abl_wastar.dir/bench_abl_wastar.cpp.o.d"
+  "bench_abl_wastar"
+  "bench_abl_wastar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_wastar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

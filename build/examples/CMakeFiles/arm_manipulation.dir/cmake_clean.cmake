@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arm_manipulation.dir/arm_manipulation.cpp.o"
+  "CMakeFiles/arm_manipulation.dir/arm_manipulation.cpp.o.d"
+  "arm_manipulation"
+  "arm_manipulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arm_manipulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ball_thrower.dir/ball_thrower.cpp.o"
+  "CMakeFiles/ball_thrower.dir/ball_thrower.cpp.o.d"
+  "ball_thrower"
+  "ball_thrower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ball_thrower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

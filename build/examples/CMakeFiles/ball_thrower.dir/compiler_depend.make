@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ball_thrower.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ball_thrower.
+# This may be replaced when dependencies are built.

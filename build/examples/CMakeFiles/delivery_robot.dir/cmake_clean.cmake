@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delivery_robot.dir/delivery_robot.cpp.o"
+  "CMakeFiles/delivery_robot.dir/delivery_robot.cpp.o.d"
+  "delivery_robot"
+  "delivery_robot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delivery_robot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

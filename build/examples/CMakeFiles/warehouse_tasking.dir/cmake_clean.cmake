@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_tasking.dir/warehouse_tasking.cpp.o"
+  "CMakeFiles/warehouse_tasking.dir/warehouse_tasking.cpp.o.d"
+  "warehouse_tasking"
+  "warehouse_tasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_tasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

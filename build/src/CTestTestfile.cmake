@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("linalg")
+subdirs("grid")
+subdirs("pointcloud")
+subdirs("search")
+subdirs("arm")
+subdirs("plan")
+subdirs("symbolic")
+subdirs("perception")
+subdirs("control")
+subdirs("kernels")

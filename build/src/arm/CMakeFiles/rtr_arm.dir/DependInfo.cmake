@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arm/cspace.cpp" "src/arm/CMakeFiles/rtr_arm.dir/cspace.cpp.o" "gcc" "src/arm/CMakeFiles/rtr_arm.dir/cspace.cpp.o.d"
+  "/root/repo/src/arm/planar_arm.cpp" "src/arm/CMakeFiles/rtr_arm.dir/planar_arm.cpp.o" "gcc" "src/arm/CMakeFiles/rtr_arm.dir/planar_arm.cpp.o.d"
+  "/root/repo/src/arm/workspace.cpp" "src/arm/CMakeFiles/rtr_arm.dir/workspace.cpp.o" "gcc" "src/arm/CMakeFiles/rtr_arm.dir/workspace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

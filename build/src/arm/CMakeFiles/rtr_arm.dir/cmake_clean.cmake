@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_arm.dir/cspace.cpp.o"
+  "CMakeFiles/rtr_arm.dir/cspace.cpp.o.d"
+  "CMakeFiles/rtr_arm.dir/planar_arm.cpp.o"
+  "CMakeFiles/rtr_arm.dir/planar_arm.cpp.o.d"
+  "CMakeFiles/rtr_arm.dir/workspace.cpp.o"
+  "CMakeFiles/rtr_arm.dir/workspace.cpp.o.d"
+  "librtr_arm.a"
+  "librtr_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/ball_throw.cpp" "src/control/CMakeFiles/rtr_control.dir/ball_throw.cpp.o" "gcc" "src/control/CMakeFiles/rtr_control.dir/ball_throw.cpp.o.d"
+  "/root/repo/src/control/bayes_opt.cpp" "src/control/CMakeFiles/rtr_control.dir/bayes_opt.cpp.o" "gcc" "src/control/CMakeFiles/rtr_control.dir/bayes_opt.cpp.o.d"
+  "/root/repo/src/control/cem.cpp" "src/control/CMakeFiles/rtr_control.dir/cem.cpp.o" "gcc" "src/control/CMakeFiles/rtr_control.dir/cem.cpp.o.d"
+  "/root/repo/src/control/dmp.cpp" "src/control/CMakeFiles/rtr_control.dir/dmp.cpp.o" "gcc" "src/control/CMakeFiles/rtr_control.dir/dmp.cpp.o.d"
+  "/root/repo/src/control/gaussian_process.cpp" "src/control/CMakeFiles/rtr_control.dir/gaussian_process.cpp.o" "gcc" "src/control/CMakeFiles/rtr_control.dir/gaussian_process.cpp.o.d"
+  "/root/repo/src/control/mpc.cpp" "src/control/CMakeFiles/rtr_control.dir/mpc.cpp.o" "gcc" "src/control/CMakeFiles/rtr_control.dir/mpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rtr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

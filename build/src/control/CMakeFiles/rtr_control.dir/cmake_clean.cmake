@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_control.dir/ball_throw.cpp.o"
+  "CMakeFiles/rtr_control.dir/ball_throw.cpp.o.d"
+  "CMakeFiles/rtr_control.dir/bayes_opt.cpp.o"
+  "CMakeFiles/rtr_control.dir/bayes_opt.cpp.o.d"
+  "CMakeFiles/rtr_control.dir/cem.cpp.o"
+  "CMakeFiles/rtr_control.dir/cem.cpp.o.d"
+  "CMakeFiles/rtr_control.dir/dmp.cpp.o"
+  "CMakeFiles/rtr_control.dir/dmp.cpp.o.d"
+  "CMakeFiles/rtr_control.dir/gaussian_process.cpp.o"
+  "CMakeFiles/rtr_control.dir/gaussian_process.cpp.o.d"
+  "CMakeFiles/rtr_control.dir/mpc.cpp.o"
+  "CMakeFiles/rtr_control.dir/mpc.cpp.o.d"
+  "librtr_control.a"
+  "librtr_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_geom.dir/segment.cpp.o"
+  "CMakeFiles/rtr_geom.dir/segment.cpp.o.d"
+  "librtr_geom.a"
+  "librtr_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/distance_transform.cpp" "src/grid/CMakeFiles/rtr_grid.dir/distance_transform.cpp.o" "gcc" "src/grid/CMakeFiles/rtr_grid.dir/distance_transform.cpp.o.d"
+  "/root/repo/src/grid/footprint.cpp" "src/grid/CMakeFiles/rtr_grid.dir/footprint.cpp.o" "gcc" "src/grid/CMakeFiles/rtr_grid.dir/footprint.cpp.o.d"
+  "/root/repo/src/grid/map_gen.cpp" "src/grid/CMakeFiles/rtr_grid.dir/map_gen.cpp.o" "gcc" "src/grid/CMakeFiles/rtr_grid.dir/map_gen.cpp.o.d"
+  "/root/repo/src/grid/map_io.cpp" "src/grid/CMakeFiles/rtr_grid.dir/map_io.cpp.o" "gcc" "src/grid/CMakeFiles/rtr_grid.dir/map_io.cpp.o.d"
+  "/root/repo/src/grid/occupancy_grid2d.cpp" "src/grid/CMakeFiles/rtr_grid.dir/occupancy_grid2d.cpp.o" "gcc" "src/grid/CMakeFiles/rtr_grid.dir/occupancy_grid2d.cpp.o.d"
+  "/root/repo/src/grid/occupancy_grid3d.cpp" "src/grid/CMakeFiles/rtr_grid.dir/occupancy_grid3d.cpp.o" "gcc" "src/grid/CMakeFiles/rtr_grid.dir/occupancy_grid3d.cpp.o.d"
+  "/root/repo/src/grid/raycast.cpp" "src/grid/CMakeFiles/rtr_grid.dir/raycast.cpp.o" "gcc" "src/grid/CMakeFiles/rtr_grid.dir/raycast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

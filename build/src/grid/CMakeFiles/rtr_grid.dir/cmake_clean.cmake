@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_grid.dir/distance_transform.cpp.o"
+  "CMakeFiles/rtr_grid.dir/distance_transform.cpp.o.d"
+  "CMakeFiles/rtr_grid.dir/footprint.cpp.o"
+  "CMakeFiles/rtr_grid.dir/footprint.cpp.o.d"
+  "CMakeFiles/rtr_grid.dir/map_gen.cpp.o"
+  "CMakeFiles/rtr_grid.dir/map_gen.cpp.o.d"
+  "CMakeFiles/rtr_grid.dir/map_io.cpp.o"
+  "CMakeFiles/rtr_grid.dir/map_io.cpp.o.d"
+  "CMakeFiles/rtr_grid.dir/occupancy_grid2d.cpp.o"
+  "CMakeFiles/rtr_grid.dir/occupancy_grid2d.cpp.o.d"
+  "CMakeFiles/rtr_grid.dir/occupancy_grid3d.cpp.o"
+  "CMakeFiles/rtr_grid.dir/occupancy_grid3d.cpp.o.d"
+  "CMakeFiles/rtr_grid.dir/raycast.cpp.o"
+  "CMakeFiles/rtr_grid.dir/raycast.cpp.o.d"
+  "librtr_grid.a"
+  "librtr_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

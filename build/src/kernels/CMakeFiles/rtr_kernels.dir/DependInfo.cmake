@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/kernel.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernels/kernel_bo.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_bo.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_bo.cpp.o.d"
+  "/root/repo/src/kernels/kernel_cem.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_cem.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_cem.cpp.o.d"
+  "/root/repo/src/kernels/kernel_dmp.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_dmp.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_dmp.cpp.o.d"
+  "/root/repo/src/kernels/kernel_ekfslam.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_ekfslam.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_ekfslam.cpp.o.d"
+  "/root/repo/src/kernels/kernel_movtar.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_movtar.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_movtar.cpp.o.d"
+  "/root/repo/src/kernels/kernel_mpc.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_mpc.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_mpc.cpp.o.d"
+  "/root/repo/src/kernels/kernel_pfl.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_pfl.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_pfl.cpp.o.d"
+  "/root/repo/src/kernels/kernel_pp2d.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_pp2d.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_pp2d.cpp.o.d"
+  "/root/repo/src/kernels/kernel_pp3d.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_pp3d.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_pp3d.cpp.o.d"
+  "/root/repo/src/kernels/kernel_prm.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_prm.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_prm.cpp.o.d"
+  "/root/repo/src/kernels/kernel_rrt.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_rrt.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_rrt.cpp.o.d"
+  "/root/repo/src/kernels/kernel_rrtpp.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_rrtpp.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_rrtpp.cpp.o.d"
+  "/root/repo/src/kernels/kernel_rrtstar.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_rrtstar.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_rrtstar.cpp.o.d"
+  "/root/repo/src/kernels/kernel_srec.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_srec.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_srec.cpp.o.d"
+  "/root/repo/src/kernels/kernel_sym.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_sym.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/kernel_sym.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/kernels/CMakeFiles/rtr_kernels.dir/registry.cpp.o" "gcc" "src/kernels/CMakeFiles/rtr_kernels.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perception/CMakeFiles/rtr_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/rtr_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/rtr_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/rtr_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/rtr_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/rtr_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rtr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/rtr_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rtr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bo.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/bo.out.dir/kernel_main.cpp.o.d"
+  "bo.out"
+  "bo.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bo.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cem.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/cem.out.dir/kernel_main.cpp.o.d"
+  "cem.out"
+  "cem.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cem.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/dmp.out.dir/kernel_main.cpp.o.d"
+  "dmp.out"
+  "dmp.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

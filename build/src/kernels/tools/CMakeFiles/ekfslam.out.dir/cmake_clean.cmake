@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekfslam.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/ekfslam.out.dir/kernel_main.cpp.o.d"
+  "ekfslam.out"
+  "ekfslam.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekfslam.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movtar.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/movtar.out.dir/kernel_main.cpp.o.d"
+  "movtar.out"
+  "movtar.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movtar.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/mpc.out.dir/kernel_main.cpp.o.d"
+  "mpc.out"
+  "mpc.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

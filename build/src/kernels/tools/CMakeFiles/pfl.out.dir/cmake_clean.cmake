@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfl.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/pfl.out.dir/kernel_main.cpp.o.d"
+  "pfl.out"
+  "pfl.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfl.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

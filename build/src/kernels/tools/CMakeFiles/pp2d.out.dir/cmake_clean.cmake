@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp2d.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/pp2d.out.dir/kernel_main.cpp.o.d"
+  "pp2d.out"
+  "pp2d.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp2d.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp3d.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/pp3d.out.dir/kernel_main.cpp.o.d"
+  "pp3d.out"
+  "pp3d.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp3d.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prm.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/prm.out.dir/kernel_main.cpp.o.d"
+  "prm.out"
+  "prm.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prm.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

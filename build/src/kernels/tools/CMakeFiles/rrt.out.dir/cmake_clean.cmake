@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrt.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/rrt.out.dir/kernel_main.cpp.o.d"
+  "rrt.out"
+  "rrt.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrt.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrtpp.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/rrtpp.out.dir/kernel_main.cpp.o.d"
+  "rrtpp.out"
+  "rrtpp.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrtpp.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

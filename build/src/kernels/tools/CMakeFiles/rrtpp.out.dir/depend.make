@@ -1,0 +1,2 @@
+# Empty dependencies file for rrtpp.out.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrtstar.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/rrtstar.out.dir/kernel_main.cpp.o.d"
+  "rrtstar.out"
+  "rrtstar.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrtstar.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srec.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/srec.out.dir/kernel_main.cpp.o.d"
+  "srec.out"
+  "srec.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srec.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

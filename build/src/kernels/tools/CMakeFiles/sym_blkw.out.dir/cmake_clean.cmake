@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sym_blkw.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/sym_blkw.out.dir/kernel_main.cpp.o.d"
+  "sym_blkw.out"
+  "sym_blkw.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sym_blkw.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sym_fext.out.dir/kernel_main.cpp.o"
+  "CMakeFiles/sym_fext.out.dir/kernel_main.cpp.o.d"
+  "sym_fext.out"
+  "sym_fext.out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sym_fext.out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

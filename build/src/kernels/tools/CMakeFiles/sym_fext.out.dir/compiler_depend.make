@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sym_fext.out.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_linalg.dir/decomp.cpp.o"
+  "CMakeFiles/rtr_linalg.dir/decomp.cpp.o.d"
+  "CMakeFiles/rtr_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/rtr_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/rtr_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/rtr_linalg.dir/matrix.cpp.o.d"
+  "librtr_linalg.a"
+  "librtr_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

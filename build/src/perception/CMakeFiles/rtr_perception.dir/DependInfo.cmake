@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perception/ekf_slam.cpp" "src/perception/CMakeFiles/rtr_perception.dir/ekf_slam.cpp.o" "gcc" "src/perception/CMakeFiles/rtr_perception.dir/ekf_slam.cpp.o.d"
+  "/root/repo/src/perception/particle_filter.cpp" "src/perception/CMakeFiles/rtr_perception.dir/particle_filter.cpp.o" "gcc" "src/perception/CMakeFiles/rtr_perception.dir/particle_filter.cpp.o.d"
+  "/root/repo/src/perception/scene_reconstruction.cpp" "src/perception/CMakeFiles/rtr_perception.dir/scene_reconstruction.cpp.o" "gcc" "src/perception/CMakeFiles/rtr_perception.dir/scene_reconstruction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/rtr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rtr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/rtr_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

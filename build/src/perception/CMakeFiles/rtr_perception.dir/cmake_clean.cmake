@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_perception.dir/ekf_slam.cpp.o"
+  "CMakeFiles/rtr_perception.dir/ekf_slam.cpp.o.d"
+  "CMakeFiles/rtr_perception.dir/particle_filter.cpp.o"
+  "CMakeFiles/rtr_perception.dir/particle_filter.cpp.o.d"
+  "CMakeFiles/rtr_perception.dir/scene_reconstruction.cpp.o"
+  "CMakeFiles/rtr_perception.dir/scene_reconstruction.cpp.o.d"
+  "librtr_perception.a"
+  "librtr_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/prm.cpp" "src/plan/CMakeFiles/rtr_plan.dir/prm.cpp.o" "gcc" "src/plan/CMakeFiles/rtr_plan.dir/prm.cpp.o.d"
+  "/root/repo/src/plan/rrt.cpp" "src/plan/CMakeFiles/rtr_plan.dir/rrt.cpp.o" "gcc" "src/plan/CMakeFiles/rtr_plan.dir/rrt.cpp.o.d"
+  "/root/repo/src/plan/rrt_connect.cpp" "src/plan/CMakeFiles/rtr_plan.dir/rrt_connect.cpp.o" "gcc" "src/plan/CMakeFiles/rtr_plan.dir/rrt_connect.cpp.o.d"
+  "/root/repo/src/plan/rrt_star.cpp" "src/plan/CMakeFiles/rtr_plan.dir/rrt_star.cpp.o" "gcc" "src/plan/CMakeFiles/rtr_plan.dir/rrt_star.cpp.o.d"
+  "/root/repo/src/plan/shortcut.cpp" "src/plan/CMakeFiles/rtr_plan.dir/shortcut.cpp.o" "gcc" "src/plan/CMakeFiles/rtr_plan.dir/shortcut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arm/CMakeFiles/rtr_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/rtr_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/rtr_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rtr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rtr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_plan.dir/prm.cpp.o"
+  "CMakeFiles/rtr_plan.dir/prm.cpp.o.d"
+  "CMakeFiles/rtr_plan.dir/rrt.cpp.o"
+  "CMakeFiles/rtr_plan.dir/rrt.cpp.o.d"
+  "CMakeFiles/rtr_plan.dir/rrt_connect.cpp.o"
+  "CMakeFiles/rtr_plan.dir/rrt_connect.cpp.o.d"
+  "CMakeFiles/rtr_plan.dir/rrt_star.cpp.o"
+  "CMakeFiles/rtr_plan.dir/rrt_star.cpp.o.d"
+  "CMakeFiles/rtr_plan.dir/shortcut.cpp.o"
+  "CMakeFiles/rtr_plan.dir/shortcut.cpp.o.d"
+  "librtr_plan.a"
+  "librtr_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pointcloud/icp.cpp" "src/pointcloud/CMakeFiles/rtr_pointcloud.dir/icp.cpp.o" "gcc" "src/pointcloud/CMakeFiles/rtr_pointcloud.dir/icp.cpp.o.d"
+  "/root/repo/src/pointcloud/point_cloud.cpp" "src/pointcloud/CMakeFiles/rtr_pointcloud.dir/point_cloud.cpp.o" "gcc" "src/pointcloud/CMakeFiles/rtr_pointcloud.dir/point_cloud.cpp.o.d"
+  "/root/repo/src/pointcloud/scene_gen.cpp" "src/pointcloud/CMakeFiles/rtr_pointcloud.dir/scene_gen.cpp.o" "gcc" "src/pointcloud/CMakeFiles/rtr_pointcloud.dir/scene_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rtr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

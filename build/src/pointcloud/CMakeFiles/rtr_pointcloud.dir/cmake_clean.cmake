@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_pointcloud.dir/icp.cpp.o"
+  "CMakeFiles/rtr_pointcloud.dir/icp.cpp.o.d"
+  "CMakeFiles/rtr_pointcloud.dir/point_cloud.cpp.o"
+  "CMakeFiles/rtr_pointcloud.dir/point_cloud.cpp.o.d"
+  "CMakeFiles/rtr_pointcloud.dir/scene_gen.cpp.o"
+  "CMakeFiles/rtr_pointcloud.dir/scene_gen.cpp.o.d"
+  "librtr_pointcloud.a"
+  "librtr_pointcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_pointcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtr_pointcloud.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/dijkstra_heuristic.cpp" "src/search/CMakeFiles/rtr_search.dir/dijkstra_heuristic.cpp.o" "gcc" "src/search/CMakeFiles/rtr_search.dir/dijkstra_heuristic.cpp.o.d"
+  "/root/repo/src/search/graph_search.cpp" "src/search/CMakeFiles/rtr_search.dir/graph_search.cpp.o" "gcc" "src/search/CMakeFiles/rtr_search.dir/graph_search.cpp.o.d"
+  "/root/repo/src/search/grid_planner2d.cpp" "src/search/CMakeFiles/rtr_search.dir/grid_planner2d.cpp.o" "gcc" "src/search/CMakeFiles/rtr_search.dir/grid_planner2d.cpp.o.d"
+  "/root/repo/src/search/grid_planner3d.cpp" "src/search/CMakeFiles/rtr_search.dir/grid_planner3d.cpp.o" "gcc" "src/search/CMakeFiles/rtr_search.dir/grid_planner3d.cpp.o.d"
+  "/root/repo/src/search/naive_astar.cpp" "src/search/CMakeFiles/rtr_search.dir/naive_astar.cpp.o" "gcc" "src/search/CMakeFiles/rtr_search.dir/naive_astar.cpp.o.d"
+  "/root/repo/src/search/path_smoothing.cpp" "src/search/CMakeFiles/rtr_search.dir/path_smoothing.cpp.o" "gcc" "src/search/CMakeFiles/rtr_search.dir/path_smoothing.cpp.o.d"
+  "/root/repo/src/search/spacetime_planner.cpp" "src/search/CMakeFiles/rtr_search.dir/spacetime_planner.cpp.o" "gcc" "src/search/CMakeFiles/rtr_search.dir/spacetime_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/rtr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_search.dir/dijkstra_heuristic.cpp.o"
+  "CMakeFiles/rtr_search.dir/dijkstra_heuristic.cpp.o.d"
+  "CMakeFiles/rtr_search.dir/graph_search.cpp.o"
+  "CMakeFiles/rtr_search.dir/graph_search.cpp.o.d"
+  "CMakeFiles/rtr_search.dir/grid_planner2d.cpp.o"
+  "CMakeFiles/rtr_search.dir/grid_planner2d.cpp.o.d"
+  "CMakeFiles/rtr_search.dir/grid_planner3d.cpp.o"
+  "CMakeFiles/rtr_search.dir/grid_planner3d.cpp.o.d"
+  "CMakeFiles/rtr_search.dir/naive_astar.cpp.o"
+  "CMakeFiles/rtr_search.dir/naive_astar.cpp.o.d"
+  "CMakeFiles/rtr_search.dir/path_smoothing.cpp.o"
+  "CMakeFiles/rtr_search.dir/path_smoothing.cpp.o.d"
+  "CMakeFiles/rtr_search.dir/spacetime_planner.cpp.o"
+  "CMakeFiles/rtr_search.dir/spacetime_planner.cpp.o.d"
+  "librtr_search.a"
+  "librtr_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/blocks_world.cpp" "src/symbolic/CMakeFiles/rtr_symbolic.dir/blocks_world.cpp.o" "gcc" "src/symbolic/CMakeFiles/rtr_symbolic.dir/blocks_world.cpp.o.d"
+  "/root/repo/src/symbolic/domain.cpp" "src/symbolic/CMakeFiles/rtr_symbolic.dir/domain.cpp.o" "gcc" "src/symbolic/CMakeFiles/rtr_symbolic.dir/domain.cpp.o.d"
+  "/root/repo/src/symbolic/firefight.cpp" "src/symbolic/CMakeFiles/rtr_symbolic.dir/firefight.cpp.o" "gcc" "src/symbolic/CMakeFiles/rtr_symbolic.dir/firefight.cpp.o.d"
+  "/root/repo/src/symbolic/planner.cpp" "src/symbolic/CMakeFiles/rtr_symbolic.dir/planner.cpp.o" "gcc" "src/symbolic/CMakeFiles/rtr_symbolic.dir/planner.cpp.o.d"
+  "/root/repo/src/symbolic/state.cpp" "src/symbolic/CMakeFiles/rtr_symbolic.dir/state.cpp.o" "gcc" "src/symbolic/CMakeFiles/rtr_symbolic.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/rtr_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rtr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_symbolic.dir/blocks_world.cpp.o"
+  "CMakeFiles/rtr_symbolic.dir/blocks_world.cpp.o.d"
+  "CMakeFiles/rtr_symbolic.dir/domain.cpp.o"
+  "CMakeFiles/rtr_symbolic.dir/domain.cpp.o.d"
+  "CMakeFiles/rtr_symbolic.dir/firefight.cpp.o"
+  "CMakeFiles/rtr_symbolic.dir/firefight.cpp.o.d"
+  "CMakeFiles/rtr_symbolic.dir/planner.cpp.o"
+  "CMakeFiles/rtr_symbolic.dir/planner.cpp.o.d"
+  "CMakeFiles/rtr_symbolic.dir/state.cpp.o"
+  "CMakeFiles/rtr_symbolic.dir/state.cpp.o.d"
+  "librtr_symbolic.a"
+  "librtr_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_util.dir/args.cpp.o"
+  "CMakeFiles/rtr_util.dir/args.cpp.o.d"
+  "CMakeFiles/rtr_util.dir/profiler.cpp.o"
+  "CMakeFiles/rtr_util.dir/profiler.cpp.o.d"
+  "CMakeFiles/rtr_util.dir/stats.cpp.o"
+  "CMakeFiles/rtr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rtr_util.dir/table.cpp.o"
+  "CMakeFiles/rtr_util.dir/table.cpp.o.d"
+  "librtr_util.a"
+  "librtr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cem_bo.dir/test_cem_bo.cpp.o"
+  "CMakeFiles/test_cem_bo.dir/test_cem_bo.cpp.o.d"
+  "test_cem_bo"
+  "test_cem_bo.pdb"
+  "test_cem_bo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cem_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

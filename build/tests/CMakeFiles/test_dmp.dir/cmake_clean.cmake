@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmp.dir/test_dmp.cpp.o"
+  "CMakeFiles/test_dmp.dir/test_dmp.cpp.o.d"
+  "test_dmp"
+  "test_dmp.pdb"
+  "test_dmp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ekf_slam.dir/test_ekf_slam.cpp.o"
+  "CMakeFiles/test_ekf_slam.dir/test_ekf_slam.cpp.o.d"
+  "test_ekf_slam"
+  "test_ekf_slam.pdb"
+  "test_ekf_slam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ekf_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

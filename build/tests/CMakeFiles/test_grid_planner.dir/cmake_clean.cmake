@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_planner.dir/test_grid_planner.cpp.o"
+  "CMakeFiles/test_grid_planner.dir/test_grid_planner.cpp.o.d"
+  "test_grid_planner"
+  "test_grid_planner.pdb"
+  "test_grid_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

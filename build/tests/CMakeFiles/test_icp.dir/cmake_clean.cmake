@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_icp.dir/test_icp.cpp.o"
+  "CMakeFiles/test_icp.dir/test_icp.cpp.o.d"
+  "test_icp"
+  "test_icp.pdb"
+  "test_icp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_icp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/rtr_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/rtr_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/rtr_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/rtr_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/rtr_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/rtr_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/rtr_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/rtr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/rtr_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rtr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/rtr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scene_rec.dir/test_scene_rec.cpp.o"
+  "CMakeFiles/test_scene_rec.dir/test_scene_rec.cpp.o.d"
+  "test_scene_rec"
+  "test_scene_rec.pdb"
+  "test_scene_rec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scene_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spacetime.dir/test_spacetime.cpp.o"
+  "CMakeFiles/test_spacetime.dir/test_spacetime.cpp.o.d"
+  "test_spacetime"
+  "test_spacetime.pdb"
+  "test_spacetime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spacetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_raycast[1]_include.cmake")
+include("/root/repo/build/tests/test_footprint[1]_include.cmake")
+include("/root/repo/build/tests/test_distance_transform[1]_include.cmake")
+include("/root/repo/build/tests/test_kdtree[1]_include.cmake")
+include("/root/repo/build/tests/test_pointcloud[1]_include.cmake")
+include("/root/repo/build/tests/test_icp[1]_include.cmake")
+include("/root/repo/build/tests/test_search[1]_include.cmake")
+include("/root/repo/build/tests/test_grid_planner[1]_include.cmake")
+include("/root/repo/build/tests/test_spacetime[1]_include.cmake")
+include("/root/repo/build/tests/test_arm[1]_include.cmake")
+include("/root/repo/build/tests/test_plan[1]_include.cmake")
+include("/root/repo/build/tests/test_symbolic[1]_include.cmake")
+include("/root/repo/build/tests/test_particle_filter[1]_include.cmake")
+include("/root/repo/build/tests/test_ekf_slam[1]_include.cmake")
+include("/root/repo/build/tests/test_scene_rec[1]_include.cmake")
+include("/root/repo/build/tests/test_dmp[1]_include.cmake")
+include("/root/repo/build/tests/test_mpc[1]_include.cmake")
+include("/root/repo/build/tests/test_cem_bo[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_naive_astar[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions2[1]_include.cmake")
