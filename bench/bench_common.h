@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "kernels/registry.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -57,6 +58,20 @@ sweepMetric(const std::string &kernel, const std::string &metric,
             roi_out->add(report.roi_seconds);
     }
     return stat;
+}
+
+/**
+ * Thread counts for scaling sweeps: 1, 2, 4, ... up to (and always
+ * including) the machine's hardware concurrency.
+ */
+inline std::vector<std::size_t>
+threadSweep()
+{
+    std::vector<std::size_t> counts;
+    for (std::size_t t = 1; t < hardwareThreads(); t *= 2)
+        counts.push_back(t);
+    counts.push_back(hardwareThreads());
+    return counts;
 }
 
 /** Render a (possibly downsampled) series as a sparkline-style row. */

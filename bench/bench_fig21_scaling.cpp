@@ -11,17 +11,107 @@
  * structures — exactly what baseline::naiveAStar does.
  */
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "grid/map_gen.h"
 #include "search/grid_planner2d.h"
 #include "search/naive_astar.h"
 #include "util/stopwatch.h"
 
+namespace {
+
+/**
+ * Thread-scaling sweep over the parallelized kernels: per-kernel
+ * speedup curves vs --threads 1, plus a determinism check that the
+ * kernel's headline metric is identical at every thread count.
+ */
+void
+runThreadScalingSweep()
+{
+    using namespace rtr;
+    using namespace rtr::bench;
+
+    banner("Thread scaling — parallelized kernels (rtr::parallel_for)",
+           "deterministic runtime: identical metrics at every thread "
+           "count, speedup bounded by cores");
+
+    // Per kernel: the wall-clock being sped up (ROI, except prm whose
+    // parallel phase is the offline build) and one deterministic
+    // metric that must not move across thread counts.
+    struct Sweep
+    {
+        const char *kernel;
+        std::vector<std::string> overrides;
+        const char *time_metric;  // nullptr = ROI seconds
+        const char *check_metric;
+    };
+    const std::vector<Sweep> sweeps = {
+        {"pfl", {}, nullptr, "final_error_m"},
+        {"srec", {}, nullptr, "mean_pose_error_m"},
+        {"cem", {"--repeats", "400"}, nullptr, "best_reward"},
+        {"mpc", {}, nullptr, "avg_tracking_error_m"},
+        {"prm", {}, "offline_seconds", "path_cost_rad"},
+    };
+
+    std::vector<std::string> headers = {"kernel"};
+    for (std::size_t t : threadSweep())
+        headers.push_back(std::to_string(t) + "T (s)");
+    headers.push_back("best speedup");
+    headers.push_back("metrics identical");
+    Table table(headers);
+
+    for (const Sweep &sweep : sweeps) {
+        std::vector<std::string> row = {sweep.kernel};
+        double base_seconds = 0.0;
+        double best_speedup = 1.0;
+        bool identical = true;
+        double reference_metric = 0.0;
+        bool first = true;
+        for (std::size_t t : threadSweep()) {
+            std::vector<std::string> overrides = sweep.overrides;
+            overrides.push_back("--threads");
+            overrides.push_back(std::to_string(t));
+            KernelReport report = runKernel(sweep.kernel, overrides);
+            double seconds =
+                sweep.time_metric
+                    ? report.metrics.at(sweep.time_metric)
+                    : report.roi_seconds;
+            double metric = report.metrics.count(sweep.check_metric)
+                                ? report.metrics.at(sweep.check_metric)
+                                : 0.0;
+            if (first) {
+                base_seconds = seconds;
+                reference_metric = metric;
+                first = false;
+            } else {
+                identical = identical && metric == reference_metric;
+                if (seconds > 0.0)
+                    best_speedup = std::max(best_speedup,
+                                            base_seconds / seconds);
+            }
+            row.push_back(Table::num(seconds, 3));
+        }
+        row.push_back(Table::num(best_speedup, 2) + "x");
+        row.push_back(identical ? "yes" : "NO");
+        table.addRow(row);
+    }
+    table.print();
+    std::cout << "\nhardware threads: " << hardwareThreads()
+              << " (speedups >1x require a multi-core machine; "
+                 "--threads 1 reproduces the paper-faithful sequential "
+                 "run)\n\n";
+}
+
+} // namespace
+
 int
 main()
 {
     using namespace rtr;
     using namespace rtr::bench;
+
+    runThreadScalingSweep();
 
     banner("Fig. 21 — performance comparison of different libraries",
            "RTRBench 74x-13576x faster than C-Rob, gap grows with scale");

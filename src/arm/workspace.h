@@ -67,6 +67,15 @@ class ArmCollisionChecker
     /** Reset the check counter. */
     void resetCounter() { checks_ = 0; }
 
+    /**
+     * Fold checks performed by per-thread clones of this checker back
+     * into the counter. The checker itself is not thread-safe (mutable
+     * FK scratch); parallel loops give every chunk its own
+     * ArmCollisionChecker over the same arm/workspace and report the
+     * clone counts here after joining.
+     */
+    void recordExternalChecks(std::size_t n) const { checks_ += n; }
+
     const PlanarArm &arm() const { return arm_; }
     const Workspace &workspace() const { return workspace_; }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -54,10 +55,17 @@ CemOptimizer::optimize(
 
         {
             ScopedPhase phase(profiler, "evaluate");
-            for (CemSample &sample : samples) {
+            // Rollout scoring is the parallel phase: each sample's
+            // reward/trace writes only its own record. The best-so-far
+            // bookkeeping runs serially in sample order below, so ties
+            // resolve exactly as in sequential execution.
+            parallelFor(0, samples.size(), 1, [&](std::size_t s) {
+                CemSample &sample = samples[s];
                 sample.reward = reward(sample.params);
                 if (trace)
                     sample.trace = trace(sample.params);
+            });
+            for (CemSample &sample : samples) {
                 ++result.evaluations;
                 result.reward_history.push_back(sample.reward);
                 if (sample.reward > result.best_reward) {

@@ -78,6 +78,12 @@ class CemOptimizer
     /**
      * Maximize @p reward over [lo, hi]^n.
      *
+     * Sample evaluation runs through the parallel runtime, so @p reward
+     * and @p trace must be safe to call concurrently from several
+     * threads when parallelThreads() > 1 (pure functions of the
+     * parameters are ideal). Results are bitwise-identical at any
+     * thread count.
+     *
      * Profiled phases: "sample", "evaluate", "sort", "refit".
      */
     CemResult optimize(const std::function<double(

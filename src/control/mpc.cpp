@@ -5,6 +5,7 @@
 
 #include "geom/angle.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -99,29 +100,36 @@ MpcController::solve(const UnicycleState &current,
     double step = config_.learning_rate;
 
     for (int iter = 0; iter < config_.opt_iterations; ++iter) {
-        // Numerical gradient by central differences.
+        // Numerical gradient by central differences. The four rollouts
+        // behind each horizon step are independent, so chunks of steps
+        // evaluate concurrently on copies of the nominal controls;
+        // every chunk perturbs exactly one entry at a time, giving the
+        // same rollouts (and bitwise the same gradient) as the
+        // sequential in-place perturbation.
+        parallelForChunks(0, h, 1, [&](const ChunkRange &chunk) {
+            std::vector<double> v = solution.v;
+            std::vector<double> omega = solution.omega;
+            for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+                double saved = v[k];
+                v[k] = saved + fd_eps;
+                double up = rolloutCost(current, reference, v, omega);
+                v[k] = saved - fd_eps;
+                double down = rolloutCost(current, reference, v, omega);
+                v[k] = saved;
+                grad_v[k] = (up - down) / (2.0 * fd_eps);
+
+                saved = omega[k];
+                omega[k] = saved + fd_eps;
+                up = rolloutCost(current, reference, v, omega);
+                omega[k] = saved - fd_eps;
+                down = rolloutCost(current, reference, v, omega);
+                omega[k] = saved;
+                grad_omega[k] = (up - down) / (2.0 * fd_eps);
+            }
+        });
+        solution.cost_evals += 4 * static_cast<int>(h);
         double grad_norm2 = 0.0;
         for (std::size_t k = 0; k < h; ++k) {
-            double saved = solution.v[k];
-            solution.v[k] = saved + fd_eps;
-            double up = rolloutCost(current, reference, solution.v,
-                                    solution.omega);
-            solution.v[k] = saved - fd_eps;
-            double down = rolloutCost(current, reference, solution.v,
-                                      solution.omega);
-            solution.v[k] = saved;
-            grad_v[k] = (up - down) / (2.0 * fd_eps);
-
-            saved = solution.omega[k];
-            solution.omega[k] = saved + fd_eps;
-            up = rolloutCost(current, reference, solution.v,
-                             solution.omega);
-            solution.omega[k] = saved - fd_eps;
-            down = rolloutCost(current, reference, solution.v,
-                               solution.omega);
-            solution.omega[k] = saved;
-            grad_omega[k] = (up - down) / (2.0 * fd_eps);
-            solution.cost_evals += 4;
             grad_norm2 += grad_v[k] * grad_v[k] +
                           grad_omega[k] * grad_omega[k];
         }

@@ -26,20 +26,6 @@ OccupancyGrid2D::setOccupied(int x, int y, bool value)
     cells_[static_cast<std::size_t>(y) * width_ + x] = value ? 1 : 0;
 }
 
-bool
-OccupancyGrid2D::occupiedWorld(const Vec2 &p) const
-{
-    Cell2 c = worldToCell(p);
-    return occupied(c.x, c.y);
-}
-
-Cell2
-OccupancyGrid2D::worldToCell(const Vec2 &p) const
-{
-    return Cell2{static_cast<int>(std::floor((p.x - origin_.x) / resolution_)),
-                 static_cast<int>(std::floor((p.y - origin_.y) / resolution_))};
-}
-
 Vec2
 OccupancyGrid2D::cellCenter(const Cell2 &c) const
 {

@@ -10,6 +10,7 @@
 #ifndef RTR_GRID_OCCUPANCY_GRID2D_H
 #define RTR_GRID_OCCUPANCY_GRID2D_H
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -70,11 +71,26 @@ class OccupancyGrid2D
     /** Mark a cell occupied/free; out-of-bounds writes are ignored. */
     void setOccupied(int x, int y, bool value = true);
 
-    /** Whether the world point falls in an occupied (or outside) cell. */
-    bool occupiedWorld(const Vec2 &p) const;
+    /**
+     * Whether the world point falls in an occupied (or outside) cell.
+     * Inline (like occupied/worldToCell) so per-cell tests in hot loops
+     * such as castRay never cross a translation-unit boundary.
+     */
+    bool
+    occupiedWorld(const Vec2 &p) const
+    {
+        Cell2 c = worldToCell(p);
+        return occupied(c.x, c.y);
+    }
 
     /** World point to containing cell (may be out of bounds). */
-    Cell2 worldToCell(const Vec2 &p) const;
+    Cell2
+    worldToCell(const Vec2 &p) const
+    {
+        return Cell2{
+            static_cast<int>(std::floor((p.x - origin_.x) / resolution_)),
+            static_cast<int>(std::floor((p.y - origin_.y) / resolution_))};
+    }
 
     /** Center of a cell in world coordinates. */
     Vec2 cellCenter(const Cell2 &c) const;

@@ -61,6 +61,8 @@ void
 castScan(const OccupancyGrid2D &grid, const Vec2 &origin, double start_angle,
          double fov, int n_rays, double max_range, std::vector<double> &out)
 {
+    out.clear();
+    out.reserve(static_cast<std::size_t>(n_rays > 0 ? n_rays : 0));
     const double step = n_rays > 1 ? fov / n_rays : 0.0;
     for (int i = 0; i < n_rays; ++i)
         out.push_back(castRay(grid, origin, start_angle + i * step,

@@ -29,9 +29,10 @@ double castRay(const OccupancyGrid2D &grid, const Vec2 &origin, double angle,
                double max_range);
 
 /**
- * Cast a fan of rays (a full simulated laser scan) and append the hit
- * distances to @p out, one per angle in
- * [start_angle, start_angle + fov), evenly spaced.
+ * Cast a fan of rays (a full simulated laser scan) into @p out, one hit
+ * distance per angle in [start_angle, start_angle + fov), evenly
+ * spaced. @p out is cleared first (and reserved to n_rays), so callers
+ * can reuse one buffer across scans without accumulating stale ranges.
  */
 void castScan(const OccupancyGrid2D &grid, const Vec2 &origin,
               double start_angle, double fov, int n_rays, double max_range,

@@ -3,8 +3,26 @@
 #include <fstream>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace rtr {
+
+void
+addThreadsOption(ArgParser &parser)
+{
+    parser.addOption("threads", "0",
+                     "Worker threads (0 = all hardware threads, "
+                     "1 = sequential)");
+}
+
+void
+applyThreadsOption(const ArgParser &args)
+{
+    const std::int64_t n = args.getInt("threads");
+    if (n < 0)
+        fatal("--threads must be >= 0");
+    setParallelThreads(static_cast<std::size_t>(n));
+}
 
 void
 writeReportFile(const KernelReport &report, const std::string &path)

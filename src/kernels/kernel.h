@@ -32,6 +32,17 @@ enum class Stage
 /** Stage to display string. */
 std::string stageName(Stage stage);
 
+/**
+ * Register the standard --threads option shared by the parallelized
+ * kernels (pfl, srec, prm, mpc, cem): 0 = hardware concurrency
+ * (the default), 1 = exact sequential execution. Results are bitwise-
+ * identical at every setting; only wall-clock time changes.
+ */
+void addThreadsOption(ArgParser &parser);
+
+/** Apply a parsed --threads value to the parallel runtime. */
+void applyThreadsOption(const ArgParser &args);
+
 /** Result of one kernel run. */
 struct KernelReport
 {

@@ -17,12 +17,14 @@ CemKernel::addOptions(ArgParser &parser) const
     parser.addOption("repeats", "2000",
                      "Learning episodes (for measurable timing)");
     parser.addOption("seed", "1", "Random seed");
+    addThreadsOption(parser);
 }
 
 KernelReport
 CemKernel::run(const ArgParser &args) const
 {
     KernelReport report;
+    applyThreadsOption(args);
     BallThrowEnv env(args.getDouble("goal"));
 
     CemConfig config;

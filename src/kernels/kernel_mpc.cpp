@@ -18,12 +18,14 @@ MpcKernel::addOptions(ArgParser &parser) const
                      "Optimizer iterations per solve");
     parser.addOption("v-max", "2.0", "Velocity limit (m/s)");
     parser.addOption("a-max", "1.5", "Acceleration limit (m/s^2)");
+    addThreadsOption(parser);
 }
 
 KernelReport
 MpcKernel::run(const ArgParser &args) const
 {
     KernelReport report;
+    applyThreadsOption(args);
 
     // ---- Reference generation (outside the ROI) ----
     std::vector<Vec2> reference = makeReferenceTrajectory(

@@ -71,12 +71,14 @@ PflKernel::addOptions(ArgParser &parser) const
                      "Initial position uncertainty radius (m)");
     parser.addOption("seed", "1", "Random seed");
     parser.addFlag("global", "Initialize uniformly over the whole map");
+    addThreadsOption(parser);
 }
 
 KernelReport
 PflKernel::run(const ArgParser &args) const
 {
     KernelReport report;
+    applyThreadsOption(args);
     const auto n_particles =
         static_cast<std::size_t>(args.getInt("particles"));
     const int n_beams = static_cast<int>(args.getInt("beams"));

@@ -14,12 +14,14 @@ PrmKernel::addOptions(ArgParser &parser) const
     parser.addOption("samples", "3000", "Roadmap samples");
     parser.addOption("neighbors", "10", "k nearest connections/sample");
     parser.addOption("edge-length", "1.2", "Max edge length (rad, L2)");
+    addThreadsOption(parser);
 }
 
 KernelReport
 PrmKernel::run(const ArgParser &args) const
 {
     KernelReport report;
+    applyThreadsOption(args);
     ArmProblem problem = makeArmProblem(args);
 
     PrmConfig config;

@@ -18,12 +18,14 @@ SrecKernel::addOptions(ArgParser &parser) const
     parser.addOption("voxel", "0.04", "Model voxel size (m)");
     parser.addOption("icp-iterations", "25", "Max ICP iterations/frame");
     parser.addOption("seed", "1", "Random seed");
+    addThreadsOption(parser);
 }
 
 KernelReport
 SrecKernel::run(const ArgParser &args) const
 {
     KernelReport report;
+    applyThreadsOption(args);
     const int frames = static_cast<int>(args.getInt("frames"));
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed"));
 

@@ -5,6 +5,7 @@
 
 #include "grid/raycast.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -116,43 +117,63 @@ ParticleFilter::measurementUpdate(const LaserScan &scan,
         1.0 / (sensor_model_.sigma * std::sqrt(2.0 * kPi));
     const double rand_density = 1.0 / scan.max_range;
 
-    std::vector<double> expected(n_beams);
+    const std::size_t n_particles = particles_.size();
+    std::vector<double> log_weights(n_particles);
+
+    // One ray-cast scan per particle: the embarrassingly-parallel loop
+    // that dominates the kernel. Each chunk scores its particles into
+    // disjoint log_weights slots with chunk-local scratch, so the
+    // result is bitwise-identical at any thread count; per-chunk
+    // profilers are merged in chunk order afterwards.
+    const std::size_t grain = resolveGrain(0, n_particles, 0);
+    std::vector<PhaseProfiler> chunk_profilers(
+        profiler ? chunkCount(0, n_particles, grain) : 0);
+    parallelForChunks(0, n_particles, grain, [&](const ChunkRange &chunk) {
+        std::vector<double> expected(n_beams);
+        PhaseProfiler *local =
+            profiler ? &chunk_profilers[chunk.index] : nullptr;
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            const Particle &p = particles_[i];
+
+            // Ray-casting: match this hypothesis against the map. This
+            // is the dominant phase of the kernel.
+            {
+                ScopedPhase phase(local, "raycast");
+                for (std::size_t b = 0; b < n_beams; ++b) {
+                    double angle = p.pose.theta + scan.start_angle +
+                                   static_cast<double>(b) * beam_step;
+                    expected[b] = castRay(map_, p.pose.position(), angle,
+                                          scan.max_range);
+                }
+            }
+
+            // Score the match under the beam mixture model.
+            {
+                ScopedPhase phase(local, "weight");
+                double log_w = 0.0;
+                for (std::size_t b = 0; b < n_beams; ++b) {
+                    double diff = scan.ranges[b] - expected[b];
+                    double density =
+                        sensor_model_.z_hit * gauss_norm *
+                            std::exp(-diff * diff * inv_sigma2) +
+                        sensor_model_.z_rand * rand_density;
+                    log_w += std::log(density + 1e-300);
+                }
+                log_w /= sensor_model_.temperature;
+                log_weights[i] = log_w;
+            }
+        }
+    });
+    if (profiler) {
+        for (const PhaseProfiler &local : chunk_profilers)
+            profiler->merge(local);
+    }
+    rays_cast_ += n_beams * n_particles;
+
     double max_log_weight = -1e300;
-    std::vector<double> log_weights(particles_.size());
-
-    for (std::size_t i = 0; i < particles_.size(); ++i) {
-        Particle &p = particles_[i];
-
-        // Ray-casting: match this hypothesis against the map. This is
-        // the dominant phase of the kernel.
-        {
-            ScopedPhase phase(profiler, "raycast");
-            for (std::size_t b = 0; b < n_beams; ++b) {
-                double angle = p.pose.theta + scan.start_angle +
-                               static_cast<double>(b) * beam_step;
-                expected[b] = castRay(map_, p.pose.position(), angle,
-                                      scan.max_range);
-            }
-            rays_cast_ += n_beams;
-        }
-
-        // Score the match under the beam mixture model.
-        {
-            ScopedPhase phase(profiler, "weight");
-            double log_w = 0.0;
-            for (std::size_t b = 0; b < n_beams; ++b) {
-                double diff = scan.ranges[b] - expected[b];
-                double density =
-                    sensor_model_.z_hit * gauss_norm *
-                        std::exp(-diff * diff * inv_sigma2) +
-                    sensor_model_.z_rand * rand_density;
-                log_w += std::log(density + 1e-300);
-            }
-            log_w /= sensor_model_.temperature;
-            log_weights[i] = log_w;
-            if (log_w > max_log_weight)
-                max_log_weight = log_w;
-        }
+    for (double log_w : log_weights) {
+        if (log_w > max_log_weight)
+            max_log_weight = log_w;
     }
 
     // Normalize in a numerically safe way.

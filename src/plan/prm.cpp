@@ -4,6 +4,7 @@
 
 #include "pointcloud/dyn_kdtree.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -46,28 +47,54 @@ PrmPlanner::build(Rng &rng, PhaseProfiler *profiler)
         for (std::size_t i = 0; i < configs_.size(); ++i)
             tree.insert(configs_[i], static_cast<std::uint32_t>(i));
 
-        for (std::size_t i = 0; i < configs_.size(); ++i) {
-            std::vector<KdHit> near =
-                tree.radiusSearch(configs_[i], config_.max_edge_length);
-            std::sort(near.begin(), near.end(),
-                      [](const KdHit &a, const KdHit &b) {
-                          return a.dist2 < b.dist2;
-                      });
-            std::size_t connected = 0;
-            for (const KdHit &hit : near) {
-                if (hit.id <= i)  // undirected: connect upward only
-                    continue;
-                if (connected >= config_.k_neighbors)
-                    break;
-                if (!checker_.motionCollides(configs_[i],
-                                             configs_[hit.id],
-                                             config_.collision_step)) {
-                    graph_.addEdge(static_cast<std::uint32_t>(i), hit.id,
-                                   std::sqrt(hit.dist2));
-                    ++connected;
+        // Each node's neighbor query + edge collision checks are
+        // independent of every other node's, so chunks of nodes run
+        // concurrently. The shared checker's FK scratch is not
+        // thread-safe, so each chunk validates edges with its own
+        // clone; candidate edges land in per-node lists and are
+        // committed to the graph serially in node order, making the
+        // roadmap identical at any thread count.
+        const std::size_t n_nodes = configs_.size();
+        const std::size_t grain = resolveGrain(0, n_nodes, 0);
+        std::vector<std::vector<std::pair<std::uint32_t, double>>> edges(
+            n_nodes);
+        std::vector<std::size_t> chunk_checks(
+            chunkCount(0, n_nodes, grain), 0);
+        parallelForChunks(0, n_nodes, grain, [&](const ChunkRange &chunk) {
+            ArmCollisionChecker local_checker(checker_.arm(),
+                                              checker_.workspace());
+            for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                std::vector<KdHit> near = tree.radiusSearch(
+                    configs_[i], config_.max_edge_length);
+                std::sort(near.begin(), near.end(),
+                          [](const KdHit &a, const KdHit &b) {
+                              return a.dist2 < b.dist2;
+                          });
+                std::size_t connected = 0;
+                for (const KdHit &hit : near) {
+                    if (hit.id <= i)  // undirected: connect upward only
+                        continue;
+                    if (connected >= config_.k_neighbors)
+                        break;
+                    if (!local_checker.motionCollides(
+                            configs_[i], configs_[hit.id],
+                            config_.collision_step)) {
+                        edges[i].emplace_back(hit.id,
+                                              std::sqrt(hit.dist2));
+                        ++connected;
+                    }
                 }
             }
+            chunk_checks[chunk.index] = local_checker.checksPerformed();
+        });
+        for (std::size_t i = 0; i < n_nodes; ++i) {
+            for (const auto &[node, dist] : edges[i])
+                graph_.addEdge(static_cast<std::uint32_t>(i), node, dist);
         }
+        std::size_t total_checks = 0;
+        for (std::size_t checks : chunk_checks)
+            total_checks += checks;
+        checker_.recordExternalChecks(total_checks);
     }
 
     stats.nodes = configs_.size();

@@ -8,6 +8,7 @@
 #include "linalg/eigen.h"
 #include "pointcloud/kdtree.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -100,14 +101,25 @@ icpRegister(const PointCloud &source, const PointCloud &target,
         double err_sum = 0.0;
         {
             ScopedPhase phase(profiler, "icp-nn");
-            src_pts.reserve(moved.size());
-            tgt_pts.reserve(moved.size());
-            dist2.reserve(moved.size());
-            for (const Vec3 &p : moved.points()) {
-                KdHit hit = tree.nearest({p.x, p.y, p.z});
+            // Parallel map: the kd-tree queries (the expensive,
+            // irregular-access part) fill a per-point hit table; the
+            // cheap compaction below then runs serially in point
+            // order, so err_sum accumulates in exactly the sequential
+            // order at any thread count.
+            const std::size_t n_moved = moved.size();
+            std::vector<KdHit> hits(n_moved);
+            parallelFor(0, n_moved, 0, [&](std::size_t i) {
+                const Vec3 &p = moved[i];
+                hits[i] = tree.nearest({p.x, p.y, p.z});
+            });
+            src_pts.reserve(n_moved);
+            tgt_pts.reserve(n_moved);
+            dist2.reserve(n_moved);
+            for (std::size_t i = 0; i < n_moved; ++i) {
+                const KdHit &hit = hits[i];
                 if (hit.dist2 > max_d2)
                     continue;
-                src_pts.push_back(p);
+                src_pts.push_back(moved[i]);
                 tgt_pts.push_back(target[hit.id]);
                 dist2.push_back(hit.dist2);
                 err_sum += hit.dist2;
@@ -184,20 +196,20 @@ estimateNormals(const PointCloud &cloud, int k, const Vec3 &viewpoint,
             pts.push_back({p.x, p.y, p.z});
         tree.build(pts);
 
-        for (std::size_t i = 0; i < n_points; ++i) {
+        parallelFor(0, n_points, 0, [&](std::size_t i) {
             const Vec3 &p = cloud[i];
             std::vector<KdHit> nbrs = tree.kNearest({p.x, p.y, p.z}, kk);
             for (std::size_t j = 0; j < kk; ++j)
                 neighbor_ids[i * kk + j] =
                     nbrs[std::min(j, nbrs.size() - 1)].id;
-        }
+        });
     }
 
     // Pass 2 (matrix operations): per-point covariance eigensolve.
     std::vector<Vec3> normals(n_points);
     {
         ScopedPhase phase(profiler, "normals-eigen");
-        for (std::size_t i = 0; i < n_points; ++i) {
+        parallelFor(0, n_points, 0, [&](std::size_t i) {
             const Vec3 &p = cloud[i];
             Vec3 mean;
             for (std::size_t j = 0; j < kk; ++j)
@@ -222,7 +234,7 @@ estimateNormals(const PointCloud &cloud, int k, const Vec3 &viewpoint,
             if (n.dot(viewpoint - p) < 0.0)
                 n = -n;
             normals[i] = n;
-        }
+        });
     }
     return normals;
 }
@@ -284,10 +296,20 @@ icpPointToPlane(const PointCloud &source, const PointCloud &target,
         std::size_t pairs = 0;
         {
             ScopedPhase phase(profiler, "icp-nn");
-            for (const Vec3 &p : moved.points()) {
-                KdHit hit = tree.nearest({p.x, p.y, p.z});
+            // Same parallel-map / ordered-serial-reduce split as
+            // icpRegister: concurrent kd-tree queries, then the 6x6
+            // normal-equation accumulation in sequential point order.
+            const std::size_t n_moved = moved.size();
+            std::vector<KdHit> hits(n_moved);
+            parallelFor(0, n_moved, 0, [&](std::size_t i) {
+                const Vec3 &p = moved[i];
+                hits[i] = tree.nearest({p.x, p.y, p.z});
+            });
+            for (std::size_t i = 0; i < n_moved; ++i) {
+                const KdHit &hit = hits[i];
                 if (hit.dist2 > max_d2)
                     continue;
+                const Vec3 &p = moved[i];
                 const Vec3 &q = target[hit.id];
                 const Vec3 &n = target_normals[hit.id];
                 double r = (p - q).dot(n);

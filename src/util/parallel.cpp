@@ -1,0 +1,272 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+namespace {
+
+/**
+ * True on any thread currently executing inside a parallel region
+ * (workers permanently, the caller for the region's duration). Nested
+ * regions detect this and run inline, which makes reentrant use safe
+ * and keeps the chunk decomposition of the outer region authoritative.
+ */
+thread_local bool tl_in_parallel_region = false;
+
+/** Default fan-out when grain 0 is requested: at most this many chunks. */
+constexpr std::size_t kDefaultMaxChunks = 64;
+
+/** One published parallel region. */
+struct Job
+{
+    const std::function<void(const ChunkRange &)> *body = nullptr;
+    std::size_t begin = 0;
+    std::size_t grain = 1;
+    std::size_t n_chunks = 0;
+    /** Next chunk ticket; workers race on this but outputs are per-chunk. */
+    std::atomic<std::size_t> next{0};
+};
+
+/** Drain chunks from @p job until every ticket is taken. */
+void
+drainChunks(Job &job)
+{
+    while (true) {
+        const std::size_t i =
+            job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n_chunks)
+            return;
+        ChunkRange chunk;
+        chunk.index = i;
+        chunk.begin = job.begin + i * job.grain;
+        chunk.end = chunk.begin + job.grain;
+        // The body clamps the final chunk's end to the range end.
+        (*job.body)(chunk);
+    }
+}
+
+/**
+ * Lazily-initialized persistent worker pool. Workers sleep between
+ * regions; a region bumps the generation counter and wakes them. The
+ * calling thread always participates, so a pool configured for T
+ * threads keeps T-1 workers.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    std::size_t
+    threads() const
+    {
+        return desired_threads_.load(std::memory_order_relaxed);
+    }
+
+    void
+    setThreads(std::size_t n)
+    {
+        desired_threads_.store(n == 0 ? hardwareThreads() : n,
+                               std::memory_order_relaxed);
+    }
+
+    void
+    run(Job &job)
+    {
+        const std::size_t n = threads();
+        ensureWorkers((n == 0 ? hardwareThreads() : n) - 1);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job_ = &job;
+            ++generation_;
+        }
+        work_cv_.notify_all();
+        drainChunks(job);
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+        job_ = nullptr;
+    }
+
+    ~ThreadPool() { stopWorkers(); }
+
+  private:
+    ThreadPool() = default;
+
+    void
+    ensureWorkers(std::size_t n_workers)
+    {
+        if (workers_.size() == n_workers)
+            return;
+        stopWorkers();
+        workers_.reserve(n_workers);
+        for (std::size_t i = 0; i < n_workers; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    stopWorkers()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+            ++generation_;
+        }
+        work_cv_.notify_all();
+        for (std::thread &worker : workers_)
+            worker.join();
+        workers_.clear();
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = false;
+    }
+
+    void
+    workerLoop()
+    {
+        tl_in_parallel_region = true;
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (true) {
+            work_cv_.wait(lock,
+                          [&] { return stop_ || generation_ != seen; });
+            seen = generation_;
+            if (stop_)
+                return;
+            Job *job = job_;
+            if (!job)
+                continue;  // region already finished without us
+            ++active_workers_;
+            lock.unlock();
+            drainChunks(*job);
+            lock.lock();
+            if (--active_workers_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+
+    std::atomic<std::size_t> desired_threads_{0};
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> workers_;
+    Job *job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    std::size_t active_workers_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace
+
+std::size_t
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t
+parallelThreads()
+{
+    const std::size_t n = ThreadPool::instance().threads();
+    return n == 0 ? hardwareThreads() : n;
+}
+
+void
+setParallelThreads(std::size_t n)
+{
+    RTR_ASSERT(!tl_in_parallel_region,
+               "setParallelThreads inside a parallel region");
+    ThreadPool::instance().setThreads(n);
+}
+
+std::size_t
+resolveGrain(std::size_t begin, std::size_t end, std::size_t grain)
+{
+    if (grain > 0)
+        return grain;
+    const std::size_t n = end > begin ? end - begin : 0;
+    if (n == 0)
+        return 1;
+    return (n + kDefaultMaxChunks - 1) / kDefaultMaxChunks;
+}
+
+std::size_t
+chunkCount(std::size_t begin, std::size_t end, std::size_t grain)
+{
+    const std::size_t n = end > begin ? end - begin : 0;
+    const std::size_t g = resolveGrain(begin, end, grain);
+    return (n + g - 1) / g;
+}
+
+void
+parallelForChunks(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(const ChunkRange &)> &body)
+{
+    if (end <= begin)
+        return;
+    const std::size_t g = resolveGrain(begin, end, grain);
+    const std::size_t n_chunks = chunkCount(begin, end, g);
+
+    auto clamped = [&](const ChunkRange &chunk) {
+        ChunkRange c = chunk;
+        if (c.end > end)
+            c.end = end;
+        body(c);
+    };
+
+    const std::size_t threads = parallelThreads();
+    if (threads <= 1 || n_chunks <= 1 || tl_in_parallel_region) {
+        // Sequential path: identical chunk decomposition, same thread.
+        for (std::size_t i = 0; i < n_chunks; ++i) {
+            ChunkRange chunk;
+            chunk.index = i;
+            chunk.begin = begin + i * g;
+            chunk.end = chunk.begin + g;
+            clamped(chunk);
+        }
+        return;
+    }
+
+    std::function<void(const ChunkRange &)> run_chunk = clamped;
+    Job job;
+    job.body = &run_chunk;
+    job.begin = begin;
+    job.grain = g;
+    job.n_chunks = n_chunks;
+
+    tl_in_parallel_region = true;
+    ThreadPool::instance().run(job);
+    tl_in_parallel_region = false;
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+            const std::function<void(std::size_t)> &body)
+{
+    parallelForChunks(begin, end, grain, [&](const ChunkRange &chunk) {
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+            body(i);
+    });
+}
+
+void
+parallelForRng(std::size_t begin, std::size_t end, std::size_t grain,
+               const Rng &base,
+               const std::function<void(const ChunkRange &, Rng &)> &body)
+{
+    parallelForChunks(begin, end, grain, [&](const ChunkRange &chunk) {
+        Rng rng = base.split(chunk.index);
+        body(chunk, rng);
+    });
+}
+
+} // namespace rtr

@@ -17,6 +17,22 @@
 namespace rtr {
 
 /**
+ * Derive an independent sub-stream seed from a (seed, stream) pair via
+ * the SplitMix64 finalizer. Used by the parallel runtime to give every
+ * chunk of a parallel loop its own reproducible random stream: the
+ * derived seed depends only on the base seed and the stream index,
+ * never on thread scheduling.
+ */
+constexpr std::uint64_t
+splitSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
  * A seeded pseudo-random source wrapping std::mt19937_64.
  *
  * The wrapper exists so that call sites read as intent
@@ -26,10 +42,28 @@ class Rng
 {
   public:
     /** Construct with an explicit seed; identical seeds replay streams. */
-    explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+    explicit Rng(std::uint64_t seed = 1) : seed_(seed), engine_(seed) {}
 
     /** Re-seed, restarting the stream. */
-    void seed(std::uint64_t s) { engine_.seed(s); }
+    void
+    seed(std::uint64_t s)
+    {
+        seed_ = s;
+        engine_.seed(s);
+    }
+
+    /** The seed this stream was (last) started from. */
+    std::uint64_t initialSeed() const { return seed_; }
+
+    /**
+     * An independent sub-stream keyed by @p stream: split(i) always
+     * yields the same stream for the same seed and i, regardless of how
+     * much of this stream has been consumed.
+     */
+    Rng split(std::uint64_t stream) const
+    {
+        return Rng(splitSeed(seed_, stream));
+    }
 
     /** Uniform real in [lo, hi). */
     double
@@ -66,6 +100,7 @@ class Rng
     std::mt19937_64 &engine() { return engine_; }
 
   private:
+    std::uint64_t seed_;
     std::mt19937_64 engine_;
 };
 

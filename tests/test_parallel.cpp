@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the deterministic parallel runtime (util/parallel.h) and
+ * for the bitwise thread-count invariance of the parallelized kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "control/cem.h"
+#include "kernels/registry.h"
+#include "perception/particle_filter.h"
+#include "pointcloud/icp.h"
+#include "pointcloud/scene_gen.h"
+#include "grid/map_gen.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace rtr {
+namespace {
+
+/** RAII guard: run a test at a thread count, restore the old one. */
+class ThreadGuard
+{
+  public:
+    explicit ThreadGuard(std::size_t n) : saved_(parallelThreads())
+    {
+        setParallelThreads(n);
+    }
+    ~ThreadGuard() { setParallelThreads(saved_); }
+
+  private:
+    std::size_t saved_;
+};
+
+/** Thread counts the determinism tests sweep: 1, 2, and "many". */
+std::vector<std::size_t>
+sweepCounts()
+{
+    return {1, 2, std::max<std::size_t>(4, hardwareThreads())};
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (std::size_t threads : sweepCounts()) {
+        ThreadGuard guard(threads);
+        std::vector<std::atomic<int>> hits(1000);
+        parallelFor(0, hits.size(), 7, [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelFor, ZeroLengthAndSingleElementRangesAreSafe)
+{
+    ThreadGuard guard(std::max<std::size_t>(2, hardwareThreads()));
+    int calls = 0;
+    parallelFor(0, 0, 4, [&](std::size_t) { ++calls; });
+    parallelFor(5, 5, 0, [&](std::size_t) { ++calls; });
+    parallelFor(10, 3, 1, [&](std::size_t) { ++calls; });  // inverted
+    EXPECT_EQ(calls, 0);
+    parallelFor(41, 42, 16, [&](std::size_t i) {
+        EXPECT_EQ(i, 41u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineAndStaySafe)
+{
+    ThreadGuard guard(std::max<std::size_t>(2, hardwareThreads()));
+    std::vector<std::atomic<int>> hits(64 * 32);
+    parallelFor(0, 64, 1, [&](std::size_t outer) {
+        parallelFor(0, 32, 4, [&](std::size_t inner) {
+            hits[outer * 32 + inner].fetch_add(
+                1, std::memory_order_relaxed);
+        });
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ChunkDecompositionIgnoresThreadCount)
+{
+    // Chunk boundaries and indices must be a pure function of
+    // (range, grain); record them at several thread counts.
+    auto chunksAt = [](std::size_t threads) {
+        ThreadGuard guard(threads);
+        std::vector<ChunkRange> seen(chunkCount(3, 250, 11));
+        parallelForChunks(3, 250, 11, [&](const ChunkRange &chunk) {
+            seen[chunk.index] = chunk;
+        });
+        return seen;
+    };
+    const std::vector<ChunkRange> reference = chunksAt(1);
+    ASSERT_FALSE(reference.empty());
+    EXPECT_EQ(reference.front().begin, 3u);
+    EXPECT_EQ(reference.back().end, 250u);
+    for (std::size_t threads : sweepCounts()) {
+        std::vector<ChunkRange> got = chunksAt(threads);
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].begin, reference[i].begin);
+            EXPECT_EQ(got[i].end, reference[i].end);
+            EXPECT_EQ(got[i].index, reference[i].index);
+        }
+    }
+}
+
+TEST(ParallelReduce, FoldsInChunkOrderAtEveryThreadCount)
+{
+    // Floating-point sum: the fold order (chunk order) is fixed, so
+    // the rounded result must be bitwise-identical across counts.
+    std::vector<double> values(10007);
+    Rng rng(99);
+    for (double &v : values)
+        v = rng.uniform(-1.0, 1.0);
+
+    auto sumAt = [&](std::size_t threads) {
+        ThreadGuard guard(threads);
+        return parallelReduce(
+            0, values.size(), 64, 0.0,
+            [&](std::size_t b, std::size_t e) {
+                double s = 0.0;
+                for (std::size_t i = b; i < e; ++i)
+                    s += values[i];
+                return s;
+            },
+            [](double a, double b) { return a + b; });
+    };
+    const double reference = sumAt(1);
+    for (std::size_t threads : sweepCounts())
+        EXPECT_EQ(sumAt(threads), reference);
+}
+
+TEST(ParallelRng, SubStreamsDependOnChunkIndexNotThreads)
+{
+    auto drawsAt = [](std::size_t threads) {
+        ThreadGuard guard(threads);
+        std::vector<double> draws(chunkCount(0, 96, 8));
+        parallelForRng(0, 96, 8, Rng(1234),
+                       [&](const ChunkRange &chunk, Rng &rng) {
+                           draws[chunk.index] = rng.uniform();
+                       });
+        return draws;
+    };
+    const std::vector<double> reference = drawsAt(1);
+    for (std::size_t threads : sweepCounts())
+        EXPECT_EQ(drawsAt(threads), reference);
+    // Distinct chunks really do get distinct streams.
+    EXPECT_NE(reference[0], reference[1]);
+}
+
+TEST(SeedSplitting, IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(splitSeed(7, 0), splitSeed(7, 0));
+    EXPECT_NE(splitSeed(7, 0), splitSeed(7, 1));
+    EXPECT_NE(splitSeed(7, 0), splitSeed(8, 0));
+    Rng base(42);
+    Rng a = base.split(3);
+    Rng b = base.split(3);
+    EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+// ---- Bitwise kernel invariance across thread counts ----
+
+/** Particle-filter weights after one sensor update. */
+std::vector<double>
+pflWeightsAt(std::size_t threads)
+{
+    ThreadGuard guard(threads);
+    OccupancyGrid2D map = makeIndoorMap(120, 80, 0.25, 3);
+    ParticleFilter filter(map, 200);
+    Rng rng(5);
+    filter.initializeUniform(rng);
+    Rng scan_rng(11);
+    Pose2 truth{map.origin().x + 8.0, map.origin().y + 6.0, 0.3};
+    LaserScan scan = simulateScan(map, truth, 30, 10.0, 0.05, scan_rng);
+    filter.measurementUpdate(scan, nullptr);
+    std::vector<double> weights;
+    for (const Particle &p : filter.particles())
+        weights.push_back(p.weight);
+    return weights;
+}
+
+TEST(DeterministicKernels, PflWeightsAreBitwiseIdentical)
+{
+    const std::vector<double> reference = pflWeightsAt(1);
+    ASSERT_EQ(reference.size(), 200u);
+    for (std::size_t threads : sweepCounts()) {
+        std::vector<double> got = pflWeightsAt(threads);
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], reference[i]) << "particle " << i;
+    }
+}
+
+/** Full ICP registration transform for a synthetic pair of clouds. */
+RigidTransform3
+icpTransformAt(std::size_t threads)
+{
+    ThreadGuard guard(threads);
+    IndoorScene scene = IndoorScene::livingRoom(2);
+    DepthCamera camera;
+    camera.width = 60;
+    camera.height = 45;
+    std::vector<CameraPose> trajectory = makeTrajectory(scene, 2);
+    Rng rng(17);
+    PointCloud target = simulateScan(scene, trajectory[0], camera, rng);
+    PointCloud source = simulateScan(scene, trajectory[1], camera, rng);
+    IcpConfig config;
+    config.max_correspondence_distance = 0.5;
+    return icpRegister(source, target, config, nullptr).transform;
+}
+
+TEST(DeterministicKernels, IcpTransformIsBitwiseIdentical)
+{
+    const RigidTransform3 reference = icpTransformAt(1);
+    for (std::size_t threads : sweepCounts()) {
+        RigidTransform3 got = icpTransformAt(threads);
+        for (std::size_t r = 0; r < 3; ++r) {
+            for (std::size_t c = 0; c < 3; ++c)
+                EXPECT_EQ(got.rotation(r, c), reference.rotation(r, c));
+        }
+        EXPECT_EQ(got.translation.x, reference.translation.x);
+        EXPECT_EQ(got.translation.y, reference.translation.y);
+        EXPECT_EQ(got.translation.z, reference.translation.z);
+    }
+}
+
+/** CEM optimum (elite-refit result) for the standard ball throw. */
+CemResult
+cemResultAt(std::size_t threads)
+{
+    ThreadGuard guard(threads);
+    CemConfig config;
+    config.iterations = 6;
+    config.samples_per_iteration = 20;
+    config.elites = 5;
+    CemOptimizer optimizer(config);
+    // Quadratic bowl with a known optimum; rewards are exercised off
+    // the main thread when threads > 1.
+    auto reward = [](const std::vector<double> &p) {
+        double r = 0.0;
+        for (std::size_t d = 0; d < p.size(); ++d) {
+            double diff = p[d] - 0.1 * static_cast<double>(d + 1);
+            r -= diff * diff;
+        }
+        return r;
+    };
+    Rng rng(21);
+    return optimizer.optimize(reward, {-1.0, -1.0, -1.0},
+                              {1.0, 1.0, 1.0}, rng, nullptr);
+}
+
+TEST(DeterministicKernels, CemElitesAreBitwiseIdentical)
+{
+    const CemResult reference = cemResultAt(1);
+    for (std::size_t threads : sweepCounts()) {
+        CemResult got = cemResultAt(threads);
+        EXPECT_EQ(got.best_reward, reference.best_reward);
+        ASSERT_EQ(got.best_params.size(), reference.best_params.size());
+        for (std::size_t d = 0; d < got.best_params.size(); ++d)
+            EXPECT_EQ(got.best_params[d], reference.best_params[d]);
+        ASSERT_EQ(got.reward_history.size(),
+                  reference.reward_history.size());
+        for (std::size_t i = 0; i < got.reward_history.size(); ++i)
+            EXPECT_EQ(got.reward_history[i], reference.reward_history[i]);
+    }
+}
+
+/** End-to-end kernel runs: every deterministic metric must agree. */
+TEST(DeterministicKernels, KernelMetricsMatchAcrossThreadCounts)
+{
+    struct Case
+    {
+        const char *kernel;
+        std::vector<std::string> overrides;
+        std::vector<std::string> metrics;
+    };
+    const std::vector<Case> cases = {
+        {"pfl",
+         {"--particles", "150", "--beams", "24", "--steps", "8"},
+         {"final_error_m", "final_spread_m", "rays_cast"}},
+        {"mpc",
+         {"--ref-points", "40", "--opt-iterations", "8"},
+         {"avg_tracking_error_m", "max_tracking_error_m", "cost_evals"}},
+        {"cem",
+         {"--repeats", "5"},
+         {"best_reward", "evaluations_per_episode"}},
+        {"prm",
+         {"--samples", "250"},
+         {"path_cost_rad", "roadmap_nodes", "roadmap_edges",
+          "offline_collision_checks"}},
+    };
+    for (const Case &c : cases) {
+        std::vector<std::string> base = c.overrides;
+        base.push_back("--threads");
+        base.push_back("1");
+        KernelReport reference =
+            makeKernel(c.kernel)->runWithDefaults(base);
+        for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+            std::vector<std::string> overrides = c.overrides;
+            overrides.push_back("--threads");
+            overrides.push_back(std::to_string(threads));
+            KernelReport got =
+                makeKernel(c.kernel)->runWithDefaults(overrides);
+            for (const std::string &metric : c.metrics) {
+                ASSERT_TRUE(got.metrics.count(metric))
+                    << c.kernel << " " << metric;
+                EXPECT_EQ(got.metrics.at(metric),
+                          reference.metrics.at(metric))
+                    << c.kernel << " --threads " << threads << " "
+                    << metric;
+            }
+        }
+    }
+    setParallelThreads(0);
+}
+
+} // namespace
+} // namespace rtr
