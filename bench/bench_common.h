@@ -7,6 +7,7 @@
 #ifndef RTR_BENCH_BENCH_COMMON_H
 #define RTR_BENCH_BENCH_COMMON_H
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,6 +19,22 @@
 
 namespace rtr {
 namespace bench {
+
+/**
+ * Warmup iterations to run (and discard) before a measured run, so
+ * first-touch page faults, lazy thread-pool spin-up, and cold caches
+ * do not pollute the reported phase times. Defaults to 1; override
+ * with the RTR_BENCH_WARMUP environment variable (0 disables).
+ */
+inline int
+warmupRuns()
+{
+    if (const char *env = std::getenv("RTR_BENCH_WARMUP")) {
+        int value = std::atoi(env);
+        return value >= 0 ? value : 1;
+    }
+    return 1;
+}
 
 /** Print the standard experiment banner. */
 inline void
@@ -34,6 +51,20 @@ inline KernelReport
 runKernel(const std::string &name,
           const std::vector<std::string> &overrides = {})
 {
+    return makeKernel(name)->runWithDefaults(overrides);
+}
+
+/**
+ * One measured kernel run preceded by warmup iterations (discarded)
+ * of the same configuration; see warmupRuns().
+ */
+inline KernelReport
+runKernelWarm(const std::string &name,
+              const std::vector<std::string> &overrides = {},
+              int warmup = warmupRuns())
+{
+    for (int i = 0; i < warmup; ++i)
+        (void)makeKernel(name)->runWithDefaults(overrides);
     return makeKernel(name)->runWithDefaults(overrides);
 }
 

@@ -9,8 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
 
 #include "arm/cspace.h"
+#include "bench_common.h"
+#include "util/stopwatch.h"
 #include "control/cem.h"
 #include "grid/footprint.h"
 #include "grid/map_gen.h"
@@ -42,6 +48,53 @@ BM_Raycast(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Raycast);
+
+/**
+ * The pfl-style scan workload on a fine (0.05 m) indoor map — the
+ * configuration the bitboard/pyramid engine targets. The map is the
+ * standard 240x160 @ 0.25 m building upsampled 5x, so the geometry is
+ * identical to the kernel's and only the cell count (1200x800) grows.
+ */
+OccupancyGrid2D
+fineIndoorMap()
+{
+    return scaleMap(makeIndoorMap(240, 160, 0.25, 1), 5);
+}
+
+Vec2
+freeScanOrigin(const OccupancyGrid2D &map)
+{
+    Vec2 origin{30.0, 20.0};
+    while (map.occupiedWorld(origin))
+        origin.x += map.resolution();
+    return origin;
+}
+
+void
+castScanFine(benchmark::State &state, RayEngine engine)
+{
+    OccupancyGrid2D map = fineIndoorMap();
+    Vec2 origin = freeScanOrigin(map);
+    std::vector<double> out;
+    for (auto _ : state) {
+        castScan(map, origin, -2.0, 4.0, 60, 20.0, out, engine);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+
+void
+BM_CastScanScalar(benchmark::State &state)
+{
+    castScanFine(state, RayEngine::Scalar);
+}
+BENCHMARK(BM_CastScanScalar);
+
+void
+BM_CastScanHier(benchmark::State &state)
+{
+    castScanFine(state, RayEngine::Hierarchical);
+}
+BENCHMARK(BM_CastScanHier);
 
 void
 BM_FootprintCollision(benchmark::State &state)
@@ -180,4 +233,145 @@ BM_ChamferDistanceTransform(benchmark::State &state)
 }
 BENCHMARK(BM_ChamferDistanceTransform);
 
+/**
+ * --json mode: measure the castScan workload on the fine indoor map
+ * with both engines (warmup per bench_common.h), assert bitwise
+ * identity, and write a machine-readable baseline so future PRs can
+ * track ns/ray and cells-visited/ray without parsing bench output.
+ */
+int
+writeRaycastBaseline(const std::string &path)
+{
+    const int n_rays = 60;
+    const std::size_t n_origins = 64;
+    const double max_range = 20.0;
+    const double fov = 4.0;
+    OccupancyGrid2D map = fineIndoorMap();
+
+    // Scan origins spread over free space, pfl-style.
+    Rng rng(7);
+    std::vector<Vec2> origins;
+    while (origins.size() < n_origins) {
+        Vec2 p{map.origin().x + rng.uniform(1.0, map.worldWidth() - 1.0),
+               map.origin().y + rng.uniform(1.0, map.worldHeight() - 1.0)};
+        if (!map.occupiedWorld(p))
+            origins.push_back(p);
+    }
+
+    // Timed sweeps run the production (uncounted) engines — the stats
+    // counters cost a per-step store each and would distort ns/ray.
+    auto sweep = [&](RayEngine engine, std::vector<double> &ranges) {
+        ranges.clear();
+        std::vector<double> scan;
+        for (const Vec2 &origin : origins) {
+            castScan(map, origin, -2.0, fov, n_rays, max_range, scan,
+                     engine);
+            ranges.insert(ranges.end(), scan.begin(), scan.end());
+        }
+    };
+    // Separate uninstrumented pass for traversal statistics.
+    auto count = [&](RayEngine engine, RayCastStats &stats) {
+        const double step = fov / n_rays;
+        for (const Vec2 &origin : origins) {
+            for (int i = 0; i < n_rays; ++i) {
+                double angle = -2.0 + i * step;
+                if (engine == RayEngine::Hierarchical)
+                    castRayCounted(map, origin, angle, max_range, stats);
+                else
+                    castRayScalarCounted(map, origin, angle, max_range,
+                                         stats);
+            }
+        }
+    };
+
+    std::vector<double> scalar_ranges, hier_ranges;
+    RayCastStats scalar_stats, hier_stats;
+    // Warmup passes (not measured).
+    for (int w = 0; w < rtr::bench::warmupRuns(); ++w) {
+        sweep(RayEngine::Scalar, scalar_ranges);
+        sweep(RayEngine::Hierarchical, hier_ranges);
+    }
+    // Best-of-N to shed scheduler noise on shared machines.
+    const int reps = 5;
+    double scalar_sec = 1e300, hier_sec = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        Stopwatch scalar_timer;
+        sweep(RayEngine::Scalar, scalar_ranges);
+        scalar_sec = std::min(scalar_sec, scalar_timer.elapsedSec());
+        Stopwatch hier_timer;
+        sweep(RayEngine::Hierarchical, hier_ranges);
+        hier_sec = std::min(hier_sec, hier_timer.elapsedSec());
+    }
+    count(RayEngine::Scalar, scalar_stats);
+    count(RayEngine::Hierarchical, hier_stats);
+
+    bool identical = scalar_ranges == hier_ranges;
+    const double rays =
+        static_cast<double>(origins.size()) * n_rays;
+
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << "cannot write " << path << "\n";
+        return 1;
+    }
+    file << "{\n"
+         << "  \"benchmark\": \"castScan\",\n"
+         << "  \"map\": {\"generator\": \"indoor\", \"width\": "
+         << map.width() << ", \"height\": " << map.height()
+         << ", \"resolution_m\": " << map.resolution() << "},\n"
+         << "  \"rays\": " << static_cast<long long>(rays) << ",\n"
+         << "  \"max_range_m\": " << max_range << ",\n"
+         << "  \"scalar\": {\"ns_per_ray\": "
+         << scalar_sec * 1e9 / rays << ", \"cells_per_ray\": "
+         << static_cast<double>(scalar_stats.probes) / rays << "},\n"
+         << "  \"hierarchical\": {\"ns_per_ray\": "
+         << hier_sec * 1e9 / rays << ", \"cells_per_ray\": "
+         << static_cast<double>(hier_stats.probes) / rays
+         << ", \"steps_per_ray\": "
+         << static_cast<double>(hier_stats.steps) / rays << "},\n"
+         << "  \"speedup\": " << scalar_sec / hier_sec << ",\n"
+         << "  \"bitwise_identical\": "
+         << (identical ? "true" : "false") << "\n"
+         << "}\n";
+    std::cout << "castScan baseline (" << static_cast<long long>(rays)
+              << " rays, " << map.width() << "x" << map.height() << " @ "
+              << map.resolution() << " m):\n"
+              << "  scalar: " << scalar_sec * 1e9 / rays
+              << " ns/ray, "
+              << static_cast<double>(scalar_stats.probes) / rays
+              << " cells/ray\n"
+              << "  hier:   " << hier_sec * 1e9 / rays << " ns/ray, "
+              << static_cast<double>(hier_stats.probes) / rays
+              << " probes/ray\n"
+              << "  speedup: " << scalar_sec / hier_sec
+              << "x, bitwise identical: "
+              << (identical ? "yes" : "NO") << "\n"
+              << "  wrote " << path << "\n";
+    return identical ? 0 : 2;
+}
+
 } // namespace
+
+/**
+ * Custom main: `bench_micro --json [path]` emits the ray-cast baseline
+ * (default BENCH_raycast.json) and exits; anything else is handed to
+ * google-benchmark unchanged.
+ */
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            std::string path = "BENCH_raycast.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                path = argv[i + 1];
+            return writeRaycastBaseline(path);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

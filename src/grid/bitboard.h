@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Bit-packed occupancy planes.
+ *
+ * The paper attributes most of the map-query cost (ray-casting in pfl,
+ * collision sweeps in pp2d/pp3d) to cache-unfriendly walks over large
+ * byte-per-cell occupancy arrays. A BitPlane stores the same
+ * information at one bit per cell — an 8x smaller working set — and
+ * turns whole-row queries (any-occupied-in-span, first-occupied,
+ * free-cell counts) into word-level mask/popcount operations. It is
+ * the storage substrate of OccupancyGrid2D's occupancy mirror, of
+ * every level of its empty-region pyramid, and (with rows indexed by
+ * (y, z)) of OccupancyGrid3D.
+ */
+
+#ifndef RTR_GRID_BITBOARD_H
+#define RTR_GRID_BITBOARD_H
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace rtr {
+
+/**
+ * A dense 2-D bit array, row-major, 64 cells per word. Rows start on
+ * word boundaries; the padding bits past `width` in each row's last
+ * word are always zero, so whole-word scans and popcounts never need
+ * per-row masking.
+ */
+class BitPlane
+{
+  public:
+    BitPlane() = default;
+
+    BitPlane(int width, int height) { reset(width, height); }
+
+    /** Resize to width x height and clear every bit. */
+    void
+    reset(int width, int height)
+    {
+        width_ = width;
+        height_ = height;
+        words_per_row_ = (width + 63) >> 6;
+        words_.assign(static_cast<std::size_t>(words_per_row_) * height, 0);
+    }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int wordsPerRow() const { return words_per_row_; }
+
+    /** Read one bit; caller guarantees bounds. */
+    bool
+    test(int x, int y) const
+    {
+        return (words_[wordIndex(x, y)] >> (x & 63)) & 1u;
+    }
+
+    /** Write one bit; caller guarantees bounds. */
+    void
+    set(int x, int y, bool value)
+    {
+        const std::uint64_t mask = std::uint64_t{1} << (x & 63);
+        std::uint64_t &word = words_[wordIndex(x, y)];
+        if (value)
+            word |= mask;
+        else
+            word &= ~mask;
+    }
+
+    /** Set or clear columns [x0, x1] (inclusive, in bounds) of a row. */
+    void
+    setRowSpan(int y, int x0, int x1, bool value)
+    {
+        const std::size_t row =
+            static_cast<std::size_t>(y) * words_per_row_;
+        const int w0 = x0 >> 6;
+        const int w1 = x1 >> 6;
+        for (int w = w0; w <= w1; ++w) {
+            std::uint64_t mask = ~std::uint64_t{0};
+            if (w == w0)
+                mask &= ~std::uint64_t{0} << (x0 & 63);
+            if (w == w1)
+                mask &= ~std::uint64_t{0} >> (63 - (x1 & 63));
+            if (value)
+                words_[row + static_cast<std::size_t>(w)] |= mask;
+            else
+                words_[row + static_cast<std::size_t>(w)] &= ~mask;
+        }
+    }
+
+    /** Whether any bit is set in columns [x0, x1] (inclusive) of row y. */
+    bool
+    anyInRowSpan(int y, int x0, int x1) const
+    {
+        return firstSetInRowSpan(y, x0, x1) >= 0;
+    }
+
+    /**
+     * Smallest set column in [x0, x1] (inclusive, in bounds) of row y,
+     * or -1 when the whole span is clear.
+     */
+    int
+    firstSetInRowSpan(int y, int x0, int x1) const
+    {
+        const std::size_t row =
+            static_cast<std::size_t>(y) * words_per_row_;
+        const int w0 = x0 >> 6;
+        const int w1 = x1 >> 6;
+        for (int w = w0; w <= w1; ++w) {
+            std::uint64_t word = words_[row + static_cast<std::size_t>(w)];
+            if (w == w0)
+                word &= ~std::uint64_t{0} << (x0 & 63);
+            if (w == w1)
+                word &= ~std::uint64_t{0} >> (63 - (x1 & 63));
+            if (word)
+                return (w << 6) + std::countr_zero(word);
+        }
+        return -1;
+    }
+
+    /**
+     * Whether the 8x8-aligned block (bx, by) — columns [8bx, 8bx+7],
+     * rows [8by, min(8by+7, height-1)] — is entirely clear. Because 8
+     * divides 64, the eight columns always live in a single word, and
+     * zero padding makes blocks overhanging the right edge behave as
+     * if the outside were clear.
+     */
+    bool
+    blockEmpty8(int bx, int by) const
+    {
+        const int x0 = bx << 3;
+        const int y0 = by << 3;
+        const int y1 = std::min(y0 + 7, height_ - 1);
+        const std::size_t w = static_cast<std::size_t>(x0 >> 6);
+        std::uint64_t accum = 0;
+        for (int y = y0; y <= y1; ++y)
+            accum |= words_[static_cast<std::size_t>(y) * words_per_row_ + w];
+        return ((accum >> (x0 & 63)) & 0xFFu) == 0;
+    }
+
+    /** Total number of set bits. */
+    std::uint64_t
+    countSet() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t word : words_)
+            total += static_cast<std::uint64_t>(std::popcount(word));
+        return total;
+    }
+
+    /** Raw word storage (row-major, wordsPerRow() words per row). */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+  private:
+    std::size_t
+    wordIndex(int x, int y) const
+    {
+        return static_cast<std::size_t>(y) * words_per_row_ +
+               static_cast<std::size_t>(x >> 6);
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    int words_per_row_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace rtr
+
+#endif // RTR_GRID_BITBOARD_H

@@ -34,17 +34,49 @@ RectFootprint::collides(const OccupancyGrid2D &grid, const Pose2 &pose) const
     Cell2 lo = grid.worldToCell({pose.x - ext_x - res, pose.y - ext_y - res});
     Cell2 hi = grid.worldToCell({pose.x + ext_x + res, pose.y + ext_y + res});
 
+    // Project a cell center into the footprint frame and test overlap
+    // with the padded rectangle.
+    auto inside = [&](int cx, int cy) {
+        Vec2 center = grid.cellCenter({cx, cy});
+        double dx = center.x - pose.x;
+        double dy = center.y - pose.y;
+        double local_l = dx * cos_t + dy * sin_t;
+        double local_w = -dx * sin_t + dy * cos_t;
+        return std::abs(local_l) <= half_l + pad &&
+               std::abs(local_w) <= half_w + pad;
+    };
+
     std::size_t checked = 0;
+    if (lo.x >= 0 && lo.y >= 0 && hi.x < grid.width() &&
+        hi.y < grid.height()) {
+        // Fully in bounds (the common planner case): scan each row's
+        // span on the bitboard and project only the occupied cells —
+        // free rows cost a couple of masked word tests and no
+        // floating-point work at all. Occupied cells are visited in
+        // the same row-major order the dense sweep used, so the
+        // collision verdict (and first-hit cell) is identical.
+        const BitPlane &bits = grid.bits();
+        for (int cy = lo.y; cy <= hi.y; ++cy) {
+            int cx = lo.x;
+            while ((cx = bits.firstSetInRowSpan(cy, cx, hi.x)) >= 0) {
+                ++checked;
+                if (inside(cx, cy)) {
+                    last_cells_checked_ = checked;
+                    return true;
+                }
+                if (++cx > hi.x)
+                    break;
+            }
+        }
+        last_cells_checked_ = checked;
+        return false;
+    }
+
+    // Bounding box reaches outside the grid: keep the dense sweep, in
+    // which out-of-bounds cells count as occupied.
     for (int cy = lo.y; cy <= hi.y; ++cy) {
         for (int cx = lo.x; cx <= hi.x; ++cx) {
-            Vec2 center = grid.cellCenter({cx, cy});
-            // Project the cell center into the footprint frame.
-            double dx = center.x - pose.x;
-            double dy = center.y - pose.y;
-            double local_l = dx * cos_t + dy * sin_t;
-            double local_w = -dx * sin_t + dy * cos_t;
-            if (std::abs(local_l) > half_l + pad ||
-                std::abs(local_w) > half_w + pad)
+            if (!inside(cx, cy))
                 continue;
             ++checked;
             if (grid.occupied(cx, cy)) {

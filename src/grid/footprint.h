@@ -36,11 +36,19 @@ class RectFootprint
      * Sweeps the cells inside the footprint's axis-aligned bounding box
      * and tests each cell center against the oriented rectangle
      * (conservatively padded by half a cell diagonal so grazing contact
-     * is detected).
+     * is detected). When the bounding box lies fully inside the grid,
+     * the sweep runs as masked word scans over the occupancy bitboard,
+     * projecting only occupied cells into the footprint frame; the
+     * verdict is identical to the dense sweep.
      */
     bool collides(const OccupancyGrid2D &grid, const Pose2 &pose) const;
 
-    /** Number of cell probes the last collides() call performed. */
+    /**
+     * Number of cell probes the last collides() call performed: cells
+     * projected into the footprint frame (dense sweep) or occupied
+     * candidate cells surfaced by the bitboard scan (fast path) — 0
+     * when word scans proved the whole bounding box free.
+     */
     std::size_t lastCellsChecked() const { return last_cells_checked_; }
 
   private:

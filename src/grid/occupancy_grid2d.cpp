@@ -12,10 +12,20 @@ OccupancyGrid2D::OccupancyGrid2D(int width, int height, double resolution,
       height_(height),
       resolution_(resolution),
       origin_(origin),
-      cells_(static_cast<std::size_t>(width) * height, 0)
+      cells_(static_cast<std::size_t>(width) * height, 0),
+      bits_(width, height)
 {
     RTR_ASSERT(width > 0 && height > 0, "grid dimensions must be positive");
     RTR_ASSERT(resolution > 0.0, "grid resolution must be positive");
+    // Summary levels until one block covers the whole grid. A fresh
+    // grid is all-free, so all-zero planes are already consistent.
+    int level_w = (width + 7) >> kBlockShift;
+    int level_h = (height + 7) >> kBlockShift;
+    while (level_w > 1 || level_h > 1) {
+        pyramid_.emplace_back(level_w, level_h);
+        level_w = (level_w + 7) >> kBlockShift;
+        level_h = (level_h + 7) >> kBlockShift;
+    }
 }
 
 void
@@ -24,6 +34,34 @@ OccupancyGrid2D::setOccupied(int x, int y, bool value)
     if (!inBounds(x, y))
         return;
     cells_[static_cast<std::size_t>(y) * width_ + x] = value ? 1 : 0;
+    if (bits_.test(x, y) == value)
+        return;
+    bits_.set(x, y, value);
+    if (value) {
+        // Mark ancestors; stop at the first already-set summary (its
+        // ancestors are set by the invariant).
+        int bx = x, by = y;
+        for (BitPlane &plane : pyramid_) {
+            bx >>= kBlockShift;
+            by >>= kBlockShift;
+            if (plane.test(bx, by))
+                break;
+            plane.set(bx, by, true);
+        }
+    } else {
+        // Clear ancestors while their child block has just become
+        // empty; stop at the first block that still holds a set bit.
+        const BitPlane *child = &bits_;
+        int bx = x, by = y;
+        for (BitPlane &plane : pyramid_) {
+            bx >>= kBlockShift;
+            by >>= kBlockShift;
+            if (!child->blockEmpty8(bx, by))
+                break;
+            plane.set(bx, by, false);
+            child = &plane;
+        }
+    }
 }
 
 Vec2
@@ -36,10 +74,10 @@ OccupancyGrid2D::cellCenter(const Cell2 &c) const
 std::size_t
 OccupancyGrid2D::freeCellCount() const
 {
-    std::size_t free = 0;
-    for (std::uint8_t v : cells_)
-        free += (v == 0);
-    return free;
+    // Row padding bits are always zero, so one popcount sweep over the
+    // bitboard words counts exactly the occupied cells.
+    return static_cast<std::size_t>(width_) * height_ -
+           static_cast<std::size_t>(bits_.countSet());
 }
 
 double

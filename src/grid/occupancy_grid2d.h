@@ -5,6 +5,14 @@
  * The shared world representation of the perception and planning kernels:
  * pfl ray-casts against it, pp2d/movtar plan over it, and the synthetic
  * map generators in map_gen.h produce instances of it.
+ *
+ * Occupancy is mirrored into a bit-packed BitPlane (the read path of
+ * every hot query — 8x smaller working set than the byte array) and
+ * summarized by a multi-level pyramid in which each level-k bit ORs an
+ * 8x8 block of level k-1. The pyramid lets traversals (ray-casting,
+ * line-of-sight sampling) prove entire macro-blocks empty with one bit
+ * probe instead of up to 64^k cell probes. All mirrors are kept in
+ * sync by setOccupied, so they are never stale.
  */
 
 #ifndef RTR_GRID_OCCUPANCY_GRID2D_H
@@ -15,6 +23,7 @@
 #include <vector>
 
 #include "geom/vec2.h"
+#include "grid/bitboard.h"
 
 namespace rtr {
 
@@ -58,13 +67,28 @@ class OccupancyGrid2D
     {
         if (!inBounds(x, y))
             return true;
-        return cells_[static_cast<std::size_t>(y) * width_ + x] != 0;
+        return bits_.test(x, y);
     }
 
     /** Unchecked occupancy test for hot loops; caller guarantees bounds. */
     bool
     occupiedUnchecked(int x, int y) const
     {
+        return bits_.test(x, y);
+    }
+
+    /**
+     * Occupancy probe through the byte array instead of the bitboard;
+     * out-of-bounds counts as occupied. This is the pre-bitboard read
+     * path, kept (always in sync) so the scalar reference ray-cast
+     * engine reproduces the exact memory behaviour the paper profiled:
+     * one byte load per traversed cell over the full-size array.
+     */
+    bool
+    occupiedByte(int x, int y) const
+    {
+        if (!inBounds(x, y))
+            return true;
         return cells_[static_cast<std::size_t>(y) * width_ + x] != 0;
     }
 
@@ -108,12 +132,55 @@ class OccupancyGrid2D
     /** Raw cell storage (row-major, y * width + x), 0 free / 1 occupied. */
     const std::vector<std::uint8_t> &cells() const { return cells_; }
 
+    /** log2 of the pyramid branching factor: level-k blocks are 8^k cells. */
+    static constexpr int kBlockShift = 3;
+
+    /** Bit-packed occupancy mirror (the hot-query read path). */
+    const BitPlane &bits() const { return bits_; }
+
+    /** Number of summary levels above the cell-resolution bitboard. */
+    int pyramidLevels() const { return static_cast<int>(pyramid_.size()); }
+
+    /**
+     * Summary plane of level @p level in [1, pyramidLevels()]: bit
+     * (X, Y) is set iff any cell in the 8^level-cell-wide block
+     * [X << 3*level, ...] x [Y << 3*level, ...] is occupied.
+     */
+    const BitPlane &
+    pyramidLevel(int level) const
+    {
+        return pyramid_[static_cast<std::size_t>(level - 1)];
+    }
+
+    /**
+     * Largest level whose aligned block containing the (in-bounds) cell
+     * is entirely free, or 0 when even the level-1 block holds an
+     * occupied cell. A nonzero result proves every in-bounds cell of
+     * that block free, which is what lets traversals stride across it
+     * without per-cell probes.
+     */
+    int
+    emptyBlockLevel(int x, int y) const
+    {
+        int level = 0;
+        for (const BitPlane &plane : pyramid_) {
+            x >>= kBlockShift;
+            y >>= kBlockShift;
+            if (plane.test(x, y))
+                break;
+            ++level;
+        }
+        return level;
+    }
+
   private:
     int width_;
     int height_;
     double resolution_;
     Vec2 origin_;
     std::vector<std::uint8_t> cells_;
+    BitPlane bits_;
+    std::vector<BitPlane> pyramid_;
 };
 
 } // namespace rtr

@@ -12,7 +12,7 @@ OccupancyGrid3D::OccupancyGrid3D(int width, int height, int depth,
       height_(height),
       depth_(depth),
       resolution_(resolution),
-      cells_(static_cast<std::size_t>(width) * height * depth, 0)
+      bits_(width, height * depth)
 {
     RTR_ASSERT(width > 0 && height > 0 && depth > 0,
                "grid dimensions must be positive");
@@ -24,7 +24,7 @@ OccupancyGrid3D::setOccupied(int x, int y, int z, bool value)
 {
     if (!inBounds(x, y, z))
         return;
-    cells_[index(x, y, z)] = value ? 1 : 0;
+    bits_.set(x, row(y, z), value);
 }
 
 void
@@ -36,21 +36,21 @@ OccupancyGrid3D::fillBox(const Cell3 &lo, const Cell3 &hi, bool value)
     int x1 = std::min(width_ - 1, std::max(lo.x, hi.x));
     int y1 = std::min(height_ - 1, std::max(lo.y, hi.y));
     int z1 = std::min(depth_ - 1, std::max(lo.z, hi.z));
+    if (x0 > x1)
+        return;
     for (int z = z0; z <= z1; ++z) {
-        for (int y = y0; y <= y1; ++y) {
-            for (int x = x0; x <= x1; ++x)
-                cells_[index(x, y, z)] = value ? 1 : 0;
-        }
+        for (int y = y0; y <= y1; ++y)
+            bits_.setRowSpan(row(y, z), x0, x1, value);
     }
 }
 
 std::size_t
 OccupancyGrid3D::freeCellCount() const
 {
-    std::size_t free = 0;
-    for (std::uint8_t v : cells_)
-        free += (v == 0);
-    return free;
+    // Row padding bits are always zero, so popcount counts exactly the
+    // occupied cells.
+    return static_cast<std::size_t>(width_) * height_ * depth_ -
+           static_cast<std::size_t>(bits_.countSet());
 }
 
 } // namespace rtr

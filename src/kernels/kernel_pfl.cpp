@@ -6,6 +6,7 @@
 #include "grid/map_gen.h"
 #include "grid/raycast.h"
 #include "perception/particle_filter.h"
+#include "util/logging.h"
 #include "util/roi.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -70,6 +71,10 @@ PflKernel::addOptions(ArgParser &parser) const
     parser.addOption("init-radius", "5.0",
                      "Initial position uncertainty radius (m)");
     parser.addOption("seed", "1", "Random seed");
+    parser.addOption("raycast", "hier",
+                     "Ray-cast engine: hier (pyramid empty-region "
+                     "skipping) or scalar (probe every cell); ranges "
+                     "and weights are bitwise identical either way");
     parser.addFlag("global", "Initialize uniformly over the whole map");
     addThreadsOption(parser);
 }
@@ -110,6 +115,13 @@ PflKernel::run(const ArgParser &args) const
 
     // ---- Filter execution (the ROI) ----
     ParticleFilter filter(map, n_particles);
+    const std::string engine_name = args.get("raycast");
+    if (engine_name == "scalar")
+        filter.setRayEngine(RayEngine::Scalar);
+    else if (engine_name == "hier")
+        filter.setRayEngine(RayEngine::Hierarchical);
+    else
+        fatal("--raycast must be 'hier' or 'scalar'");
     Rng filter_rng(seed);
     if (args.getFlag("global"))
         filter.initializeUniform(filter_rng);
@@ -150,6 +162,31 @@ PflKernel::run(const ArgParser &args) const
         static_cast<double>(filter.raysCast());
     report.metrics["raycast_fraction"] =
         report.phaseFraction("raycast");
+
+    // Traversal diagnostics (outside the ROI): re-cast the final
+    // estimate's scan with counted engines to report how many cells
+    // each engine actually touches per ray on this map.
+    {
+        RayCastStats hier, scalar;
+        const double beam_step =
+            n_beams > 1 ? scans[0].fov / static_cast<double>(n_beams)
+                        : 0.0;
+        for (int b = 0; b < n_beams; ++b) {
+            double angle = estimate.theta + scans[0].start_angle +
+                           static_cast<double>(b) * beam_step;
+            double fast = castRayCounted(map, estimate.position(), angle,
+                                         max_range, hier);
+            double slow = castRayScalarCounted(map, estimate.position(),
+                                               angle, max_range, scalar);
+            RTR_ASSERT(fast == slow,
+                       "ray-cast engines must agree bitwise");
+        }
+        const double rays = static_cast<double>(n_beams > 0 ? n_beams : 1);
+        report.metrics["probes_per_ray_hier"] =
+            static_cast<double>(hier.probes) / rays;
+        report.metrics["probes_per_ray_scalar"] =
+            static_cast<double>(scalar.probes) / rays;
+    }
     report.series["spread"] = std::move(spread_series);
     return report;
 }

@@ -109,8 +109,6 @@ ParticleFilter::measurementUpdate(const LaserScan &scan,
 {
     const std::size_t n_beams = scan.ranges.size();
     RTR_ASSERT(n_beams >= 1, "scan needs >= 1 beam");
-    const double beam_step = n_beams > 1 ? scan.fov / static_cast<double>(n_beams)
-                                         : 0.0;
     const double inv_sigma2 =
         1.0 / (2.0 * sensor_model_.sigma * sensor_model_.sigma);
     const double gauss_norm =
@@ -120,53 +118,43 @@ ParticleFilter::measurementUpdate(const LaserScan &scan,
     const std::size_t n_particles = particles_.size();
     std::vector<double> log_weights(n_particles);
 
-    // One ray-cast scan per particle: the embarrassingly-parallel loop
-    // that dominates the kernel. Each chunk scores its particles into
-    // disjoint log_weights slots with chunk-local scratch, so the
-    // result is bitwise-identical at any thread count; per-chunk
-    // profilers are merged in chunk order afterwards.
-    const std::size_t grain = resolveGrain(0, n_particles, 0);
-    std::vector<PhaseProfiler> chunk_profilers(
-        profiler ? chunkCount(0, n_particles, grain) : 0);
-    parallelForChunks(0, n_particles, grain, [&](const ChunkRange &chunk) {
-        std::vector<double> expected(n_beams);
-        PhaseProfiler *local =
-            profiler ? &chunk_profilers[chunk.index] : nullptr;
-        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
-            const Particle &p = particles_[i];
+    // Ray-casting: match every hypothesis against the map in one batch
+    // cast. This is the dominant phase of the kernel; castScanBatch
+    // runs the particles through the parallel runtime and each range
+    // is a pure function of (map, pose, beam), so the expected scans
+    // are bitwise-identical at any thread count.
+    std::vector<Pose2> poses(n_particles);
+    for (std::size_t i = 0; i < n_particles; ++i)
+        poses[i] = particles_[i].pose;
+    std::vector<double> expected;
+    {
+        ScopedPhase phase(profiler, "raycast");
+        castScanBatch(map_, poses, scan.start_angle, scan.fov,
+                      static_cast<int>(n_beams), scan.max_range, expected,
+                      ray_engine_);
+    }
 
-            // Ray-casting: match this hypothesis against the map. This
-            // is the dominant phase of the kernel.
-            {
-                ScopedPhase phase(local, "raycast");
-                for (std::size_t b = 0; b < n_beams; ++b) {
-                    double angle = p.pose.theta + scan.start_angle +
-                                   static_cast<double>(b) * beam_step;
-                    expected[b] = castRay(map_, p.pose.position(), angle,
-                                          scan.max_range);
+    // Score each particle's match under the beam mixture model; chunks
+    // write disjoint log_weights slots.
+    {
+        ScopedPhase phase(profiler, "weight");
+        parallelForChunks(
+            0, n_particles, 0, [&](const ChunkRange &chunk) {
+                for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                    const double *ranges = expected.data() + i * n_beams;
+                    double log_w = 0.0;
+                    for (std::size_t b = 0; b < n_beams; ++b) {
+                        double diff = scan.ranges[b] - ranges[b];
+                        double density =
+                            sensor_model_.z_hit * gauss_norm *
+                                std::exp(-diff * diff * inv_sigma2) +
+                            sensor_model_.z_rand * rand_density;
+                        log_w += std::log(density + 1e-300);
+                    }
+                    log_w /= sensor_model_.temperature;
+                    log_weights[i] = log_w;
                 }
-            }
-
-            // Score the match under the beam mixture model.
-            {
-                ScopedPhase phase(local, "weight");
-                double log_w = 0.0;
-                for (std::size_t b = 0; b < n_beams; ++b) {
-                    double diff = scan.ranges[b] - expected[b];
-                    double density =
-                        sensor_model_.z_hit * gauss_norm *
-                            std::exp(-diff * diff * inv_sigma2) +
-                        sensor_model_.z_rand * rand_density;
-                    log_w += std::log(density + 1e-300);
-                }
-                log_w /= sensor_model_.temperature;
-                log_weights[i] = log_w;
-            }
-        }
-    });
-    if (profiler) {
-        for (const PhaseProfiler &local : chunk_profilers)
-            profiler->merge(local);
+            });
     }
     rays_cast_ += n_beams * n_particles;
 

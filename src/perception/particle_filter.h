@@ -16,6 +16,7 @@
 
 #include "geom/pose.h"
 #include "grid/occupancy_grid2d.h"
+#include "grid/raycast.h"
 #include "util/profiler.h"
 #include "util/rng.h"
 
@@ -112,12 +113,26 @@ class ParticleFilter
                       PhaseProfiler *profiler = nullptr);
 
     /**
-     * Re-weight particles against a laser scan. Each particle casts one
-     * ray per beam ("raycast" phase) and scores the match under the
-     * beam model ("weight" phase).
+     * Re-weight particles against a laser scan. All particles' beams
+     * are cast in one castScanBatch call ("raycast" phase), then each
+     * particle scores its match under the beam model ("weight" phase);
+     * both phases run on the parallel runtime and produce weights
+     * bitwise identical at any thread count and under either ray-cast
+     * engine.
      */
     void measurementUpdate(const LaserScan &scan,
                            PhaseProfiler *profiler = nullptr);
+
+    /**
+     * Select the occupancy-query engine for measurement updates. The
+     * hierarchical default skips pyramid-certified empty blocks; the
+     * scalar engine probes every traversed cell (the paper-faithful
+     * cost profile). Ranges, and therefore weights, are bitwise
+     * identical either way.
+     */
+    void setRayEngine(RayEngine engine) { ray_engine_ = engine; }
+
+    RayEngine rayEngine() const { return ray_engine_; }
 
     /**
      * Low-variance resampling ("resample" phase). A small fraction of
@@ -174,6 +189,7 @@ class ParticleFilter
     MotionNoise motion_noise_;
     BeamSensorModel sensor_model_;
     std::vector<Particle> particles_;
+    RayEngine ray_engine_ = RayEngine::Hierarchical;
     std::size_t rays_cast_ = 0;
     double random_injection_ = 0.02;
 };

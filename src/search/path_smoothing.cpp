@@ -1,5 +1,6 @@
 #include "search/path_smoothing.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace rtr {
@@ -16,10 +17,33 @@ hasLineOfSight(const OccupancyGrid2D &grid, const Cell2 &a, const Cell2 &b)
         std::max(1, static_cast<int>(std::ceil(dist /
                                                (grid.resolution() *
                                                 0.25))));
+    // Sample points inside a pyramid-certified empty block need no
+    // occupancy probe; the region is clamped to the grid so
+    // out-of-bounds samples (which count as blocked) always get
+    // probed. Identical verdict to probing every sample.
+    int skip_x0 = 0, skip_x1 = -1;
+    int skip_y0 = 0, skip_y1 = -1;
     for (int s = 0; s <= steps; ++s) {
         double t = static_cast<double>(s) / steps;
         Vec2 p = from + (to - from) * t;
-        if (grid.occupiedWorld(p))
+        Cell2 c = grid.worldToCell(p);
+        if (c.x >= skip_x0 && c.x <= skip_x1 && c.y >= skip_y0 &&
+            c.y <= skip_y1)
+            continue;
+        if (!grid.inBounds(c.x, c.y))
+            return false;
+        const int level = grid.emptyBlockLevel(c.x, c.y);
+        if (level > 0) {
+            const int shift = OccupancyGrid2D::kBlockShift * level;
+            skip_x0 = (c.x >> shift) << shift;
+            skip_y0 = (c.y >> shift) << shift;
+            skip_x1 = std::min(skip_x0 + (1 << shift) - 1,
+                               grid.width() - 1);
+            skip_y1 = std::min(skip_y0 + (1 << shift) - 1,
+                               grid.height() - 1);
+            continue;
+        }
+        if (grid.occupiedUnchecked(c.x, c.y))
             return false;
     }
     return true;

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <numbers>
+
 #include "geom/angle.h"
 #include "grid/footprint.h"
 #include "grid/map_gen.h"
@@ -111,6 +114,64 @@ TEST_P(FootprintOracle, NeverMissesARealOverlap)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FootprintOracle,
                          ::testing::Values(11, 22, 33, 44));
+
+TEST(Footprint, BitboardFastPathProvesFreeBoxWithoutProbes)
+{
+    // A fully in-bounds AABB over free space is cleared by whole-word
+    // scans of the bitboard: no per-cell membership test runs at all.
+    OccupancyGrid2D grid = emptyWithBlock();
+    RectFootprint car(1.0, 0.5);
+    EXPECT_FALSE(car.collides(grid, Pose2{2.5, 2.5, 0.3}));
+    EXPECT_EQ(car.lastCellsChecked(), 0u);
+}
+
+TEST(Footprint, FastPathAgreesWithDenseProbing)
+{
+    // Word-scan fast path and the dense per-cell loop must return the
+    // same verdict for arbitrary poses, including occupied and edge
+    // cases where the AABB leaves the map.
+    Rng rng(55);
+    OccupancyGrid2D grid = makeRandomObstacleMap(64, 64, 0.12, 9);
+    RectFootprint robot(3.0, 1.5);
+    for (int trial = 0; trial < 200; ++trial) {
+        Pose2 pose{rng.uniform(-2.0, 66.0), rng.uniform(-2.0, 66.0),
+                   rng.uniform(-kPi, kPi)};
+        bool fast = robot.collides(grid, pose);
+        // Dense reference: the pre-bitboard sweep — probe every AABB
+        // cell, identical padding, extents, and membership arithmetic
+        // to RectFootprint::collides.
+        const double res = grid.resolution();
+        const double half_l = 1.5, half_w = 0.75;
+        const double pad = res * 0.5 * std::numbers::sqrt2_v<double>;
+        const double cos_t = std::cos(pose.theta);
+        const double sin_t = std::sin(pose.theta);
+        const double ext_x =
+            std::abs(cos_t) * half_l + std::abs(sin_t) * half_w;
+        const double ext_y =
+            std::abs(sin_t) * half_l + std::abs(cos_t) * half_w;
+        Cell2 lo = grid.worldToCell(
+            {pose.x - ext_x - res, pose.y - ext_y - res});
+        Cell2 hi = grid.worldToCell(
+            {pose.x + ext_x + res, pose.y + ext_y + res});
+        bool dense = false;
+        for (int cy = lo.y; cy <= hi.y && !dense; ++cy) {
+            for (int cx = lo.x; cx <= hi.x && !dense; ++cx) {
+                if (!grid.occupied(cx, cy))
+                    continue;
+                Vec2 center = grid.cellCenter({cx, cy});
+                double dx = center.x - pose.x;
+                double dy = center.y - pose.y;
+                double local_l = dx * cos_t + dy * sin_t;
+                double local_w = -dx * sin_t + dy * cos_t;
+                dense = std::abs(local_l) <= half_l + pad &&
+                        std::abs(local_w) <= half_w + pad;
+            }
+        }
+        EXPECT_EQ(fast, dense)
+            << "pose (" << pose.x << "," << pose.y << ","
+            << pose.theta << ")";
+    }
+}
 
 } // namespace
 } // namespace rtr

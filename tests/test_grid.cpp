@@ -5,12 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <sstream>
 
 #include "grid/map_gen.h"
 #include "grid/map_io.h"
 #include "grid/occupancy_grid2d.h"
 #include "grid/occupancy_grid3d.h"
+#include "util/rng.h"
 
 namespace rtr {
 namespace {
@@ -62,6 +65,113 @@ TEST(OccupancyGrid2D, Counters)
     grid.setOccupied(1, 1);
     EXPECT_EQ(grid.freeCellCount(), 14u);
     EXPECT_DOUBLE_EQ(grid.occupancyRatio(), 2.0 / 16.0);
+}
+
+TEST(OccupancyGrid2D, PopcountCountersMatchByteSweep)
+{
+    // Popcount-derived counters must agree with a brute-force sweep of
+    // the byte mirror after arbitrary edits (sets, clears, redundant
+    // writes, out-of-bounds writes). Width 70 exercises a partial
+    // trailing word; the padding bits must never leak into the count.
+    OccupancyGrid2D grid(70, 41);
+    Rng rng(17);
+    for (int round = 0; round < 50; ++round) {
+        for (int e = 0; e < 40; ++e) {
+            grid.setOccupied(static_cast<int>(rng.index(80)) - 5,
+                             static_cast<int>(rng.index(50)) - 5,
+                             rng.uniform() < 0.6);
+        }
+        std::size_t occupied = 0;
+        for (std::uint8_t cell : grid.cells())
+            occupied += cell != 0;
+        EXPECT_EQ(grid.freeCellCount(), 70u * 41u - occupied)
+            << "round " << round;
+        EXPECT_NEAR(grid.occupancyRatio(),
+                    static_cast<double>(occupied) / (70.0 * 41.0), 1e-15)
+            << "round " << round;
+    }
+}
+
+TEST(OccupancyGrid2D, BitboardMirrorsByteArray)
+{
+    OccupancyGrid2D grid(130, 67);
+    Rng rng(23);
+    for (int e = 0; e < 3000; ++e) {
+        grid.setOccupied(static_cast<int>(rng.index(130)),
+                         static_cast<int>(rng.index(67)),
+                         rng.uniform() < 0.5);
+    }
+    for (int y = 0; y < grid.height(); ++y) {
+        for (int x = 0; x < grid.width(); ++x) {
+            EXPECT_EQ(grid.bits().test(x, y),
+                      grid.cells()[static_cast<std::size_t>(y) * 130 + x] !=
+                          0)
+                << "(" << x << "," << y << ")";
+        }
+    }
+}
+
+TEST(OccupancyGrid2D, PyramidTracksEdits)
+{
+    // emptyBlockLevel(x, y) == k promises every cell of the aligned
+    // 8^k-block containing (x, y) is free. Validate against brute force
+    // after random set/clear churn.
+    OccupancyGrid2D grid(100, 90);
+    ASSERT_GE(grid.pyramidLevels(), 1);
+    Rng rng(29);
+    for (int e = 0; e < 2000; ++e) {
+        grid.setOccupied(static_cast<int>(rng.index(100)),
+                         static_cast<int>(rng.index(90)),
+                         rng.uniform() < 0.5);
+    }
+    for (int probe = 0; probe < 400; ++probe) {
+        int x = static_cast<int>(rng.index(100));
+        int y = static_cast<int>(rng.index(90));
+        int level = grid.emptyBlockLevel(x, y);
+        if (level > 0) {
+            int shift = OccupancyGrid2D::kBlockShift * level;
+            int x0 = (x >> shift) << shift, y0 = (y >> shift) << shift;
+            for (int cy = y0; cy < y0 + (1 << shift); ++cy) {
+                for (int cx = x0; cx < x0 + (1 << shift); ++cx) {
+                    if (grid.inBounds(cx, cy))
+                        EXPECT_FALSE(grid.occupied(cx, cy))
+                            << "level " << level << " block at (" << x0
+                            << "," << y0 << ") cell (" << cx << ","
+                            << cy << ")";
+                }
+            }
+        } else {
+            // Level 0 means the level-1 block has at least one
+            // occupied cell.
+            int x0 = (x >> 3) << 3, y0 = (y >> 3) << 3;
+            bool any = false;
+            for (int cy = y0; cy < y0 + 8 && !any; ++cy) {
+                for (int cx = x0; cx < x0 + 8 && !any; ++cx)
+                    any = grid.inBounds(cx, cy) && grid.occupied(cx, cy);
+            }
+            EXPECT_TRUE(any) << "block at (" << x0 << "," << y0 << ")";
+        }
+    }
+}
+
+TEST(OccupancyGrid3D, PopcountCountersMatchBruteForce)
+{
+    OccupancyGrid3D grid(33, 9, 7);
+    Rng rng(41);
+    for (int e = 0; e < 800; ++e) {
+        grid.setOccupied(static_cast<int>(rng.index(33)),
+                         static_cast<int>(rng.index(9)),
+                         static_cast<int>(rng.index(7)),
+                         rng.uniform() < 0.5);
+    }
+    std::size_t occupied = 0;
+    for (int z = 0; z < 7; ++z) {
+        for (int y = 0; y < 9; ++y) {
+            for (int x = 0; x < 33; ++x)
+                occupied += grid.occupied(x, y, z);
+        }
+    }
+    EXPECT_EQ(grid.freeCellCount(), 33u * 9u * 7u - occupied);
 }
 
 TEST(OccupancyGrid3D, BasicOps)

@@ -179,7 +179,10 @@ TEST_F(ParticleFilterTest, ProfilerSeparatesRaycastAndWeight)
     filter.measurementUpdate(scan, &profiler);
     EXPECT_GT(profiler.phaseNs("raycast"), 0);
     EXPECT_GT(profiler.phaseNs("weight"), 0);
-    EXPECT_EQ(profiler.phaseCount("raycast"), 100);
+    // Ray-casting runs as one batched pass over all particles, so each
+    // measurement update enters the phase exactly once.
+    EXPECT_EQ(profiler.phaseCount("raycast"), 1);
+    EXPECT_EQ(profiler.phaseCount("weight"), 1);
 }
 
 TEST_F(ParticleFilterTest, MotionUpdateMovesParticles)

@@ -127,5 +127,163 @@ TEST_P(RaycastVsReference, AgreesOnRandomMaps)
 INSTANTIATE_TEST_SUITE_P(Seeds, RaycastVsReference,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+/**
+ * The bitwise-identity contract of the hierarchical engine: castRay
+ * (pyramid empty-region skipping) must return the exact same double
+ * as castRayScalar (probe every cell) for arbitrary maps, origins,
+ * angles, and ranges — including rays starting inside occupied cells,
+ * rays starting outside the map, and corner-grazing diagonals.
+ */
+class RaycastHierFuzz : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RaycastHierFuzz, BitwiseIdenticalToScalarAcrossDensities)
+{
+    const double density = GetParam();
+    Rng rng(static_cast<std::uint64_t>(density * 1000.0) + 3);
+    for (std::uint64_t map_seed = 1; map_seed <= 4; ++map_seed) {
+        OccupancyGrid2D grid =
+            makeRandomObstacleMap(96, 64, density, map_seed);
+        for (int i = 0; i < 250; ++i) {
+            // Origins over (and slightly beyond) the whole map, free
+            // or occupied alike.
+            Vec2 origin{rng.uniform(-2.0, 98.0), rng.uniform(-2.0, 66.0)};
+            double angle = rng.uniform(-kPi, kPi);
+            double max_range = rng.uniform(0.5, 140.0);
+            double hier = castRay(grid, origin, angle, max_range);
+            double scalar = castRayScalar(grid, origin, angle, max_range);
+            EXPECT_EQ(hier, scalar)
+                << "origin (" << origin.x << "," << origin.y
+                << ") angle " << angle << " range " << max_range
+                << " density " << density << " seed " << map_seed;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RaycastHierFuzz,
+                         ::testing::Values(0.0, 0.02, 0.15, 0.45));
+
+TEST(RaycastHier, CornerGrazingAndAxisAlignedRaysMatchScalar)
+{
+    OccupancyGrid2D grid = boxWorld();
+    // Cell-corner origins and axis/diagonal angles hit boundary ties
+    // in the DDA; both engines must resolve them identically.
+    const double angles[] = {0.0,       kPi / 4.0,  kPi / 2.0,
+                             3 * kPi / 4.0, kPi,    -kPi / 4.0,
+                             -kPi / 2.0, -3 * kPi / 4.0};
+    for (int x = 1; x <= 18; x += 3) {
+        for (int y = 1; y <= 18; y += 3) {
+            for (double angle : angles) {
+                Vec2 corner{static_cast<double>(x),
+                            static_cast<double>(y)};
+                EXPECT_EQ(castRay(grid, corner, angle, 50.0),
+                          castRayScalar(grid, corner, angle, 50.0))
+                    << "corner (" << x << "," << y << ") angle "
+                    << angle;
+            }
+        }
+    }
+}
+
+TEST(RaycastHier, MatchesReferenceOnIndoorMap)
+{
+    OccupancyGrid2D grid = makeIndoorMap(120, 80, 0.25, 3);
+    Rng rng(9);
+    int tested = 0;
+    while (tested < 120) {
+        Vec2 origin{rng.uniform(1.0, 29.0), rng.uniform(1.0, 19.0)};
+        if (grid.occupiedWorld(origin))
+            continue;
+        ++tested;
+        double angle = rng.uniform(-kPi, kPi);
+        double fast = castRay(grid, origin, angle, 15.0);
+        double slow = castRayReference(grid, origin, angle, 15.0);
+        EXPECT_NEAR(fast, slow, grid.resolution() * 0.05);
+    }
+}
+
+TEST(RaycastHier, SkipsProbesInOpenSpace)
+{
+    // A big empty room: the pyramid should cut probes by an order of
+    // magnitude while the step count stays that of the scalar DDA.
+    OccupancyGrid2D grid(512, 512, 0.05);
+    for (int i = 0; i < 512; ++i) {
+        grid.setOccupied(i, 0);
+        grid.setOccupied(i, 511);
+        grid.setOccupied(0, i);
+        grid.setOccupied(511, i);
+    }
+    RayCastStats hier, scalar;
+    Rng rng(4);
+    for (int i = 0; i < 64; ++i) {
+        double angle = rng.uniform(-kPi, kPi);
+        Vec2 origin{12.8, 12.8};
+        EXPECT_EQ(castRayCounted(grid, origin, angle, 30.0, hier),
+                  castRayScalarCounted(grid, origin, angle, 30.0,
+                                       scalar));
+    }
+    EXPECT_EQ(hier.steps, scalar.steps);
+    EXPECT_LT(hier.probes * 10, scalar.probes)
+        << "pyramid skipped too few probes: " << hier.probes << " vs "
+        << scalar.probes;
+}
+
+TEST(RaycastHier, TracksDynamicEdits)
+{
+    // Incremental pyramid maintenance: occupy and free cells and check
+    // the engines stay identical after every edit burst.
+    OccupancyGrid2D grid(100, 70, 0.5);
+    Rng rng(31);
+    for (int round = 0; round < 40; ++round) {
+        for (int e = 0; e < 25; ++e) {
+            grid.setOccupied(static_cast<int>(rng.index(100)),
+                             static_cast<int>(rng.index(70)),
+                             rng.uniform() < 0.5);
+        }
+        for (int i = 0; i < 25; ++i) {
+            Vec2 origin{rng.uniform(0.0, 50.0), rng.uniform(0.0, 35.0)};
+            double angle = rng.uniform(-kPi, kPi);
+            EXPECT_EQ(castRay(grid, origin, angle, 60.0),
+                      castRayScalar(grid, origin, angle, 60.0))
+                << "round " << round;
+        }
+    }
+}
+
+TEST(CastScanBatch, MatchesPerPoseCastRay)
+{
+    OccupancyGrid2D grid = makeIndoorMap(120, 80, 0.25, 5);
+    Rng rng(13);
+    std::vector<Pose2> poses;
+    while (poses.size() < 40) {
+        Pose2 pose{rng.uniform(1.0, 29.0), rng.uniform(1.0, 19.0),
+                   rng.uniform(-kPi, kPi)};
+        if (!grid.occupiedWorld(pose.position()))
+            poses.push_back(pose);
+    }
+    const int n_beams = 24;
+    const double start_angle = -2.0, fov = 4.0, max_range = 12.0;
+    std::vector<double> batch;
+    castScanBatch(grid, poses, start_angle, fov, n_beams, max_range,
+                  batch);
+    std::vector<double> batch_scalar;
+    castScanBatch(grid, poses, start_angle, fov, n_beams, max_range,
+                  batch_scalar, RayEngine::Scalar);
+    ASSERT_EQ(batch.size(), poses.size() * n_beams);
+    ASSERT_EQ(batch_scalar.size(), batch.size());
+    const double beam_step = fov / static_cast<double>(n_beams);
+    for (std::size_t i = 0; i < poses.size(); ++i) {
+        for (int b = 0; b < n_beams; ++b) {
+            double angle = poses[i].theta + start_angle +
+                           static_cast<double>(b) * beam_step;
+            double expected = castRay(grid, poses[i].position(), angle,
+                                      max_range);
+            EXPECT_EQ(batch[i * n_beams + b], expected);
+            EXPECT_EQ(batch_scalar[i * n_beams + b], expected);
+        }
+    }
+}
+
 } // namespace
 } // namespace rtr
