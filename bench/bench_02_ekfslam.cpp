@@ -7,8 +7,9 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    rtr::bench::Harness harness(argc, argv);
     using namespace rtr;
     using namespace rtr::bench;
 

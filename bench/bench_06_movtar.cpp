@@ -37,8 +37,9 @@ makeProblem(const CostGrid2D &field, int traj_steps, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    rtr::bench::Harness harness(argc, argv);
     using namespace rtr;
     using namespace rtr::bench;
 

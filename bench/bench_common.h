@@ -7,12 +7,20 @@
 #ifndef RTR_BENCH_BENCH_COMMON_H
 #define RTR_BENCH_BENCH_COMMON_H
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "kernels/registry.h"
+#include "telemetry/perf_counters.h"
+#include "telemetry/trace.h"
+#include "telemetry/trace_export.h"
 #include "util/parallel.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -24,14 +32,22 @@ namespace bench {
  * Warmup iterations to run (and discard) before a measured run, so
  * first-touch page faults, lazy thread-pool spin-up, and cold caches
  * do not pollute the reported phase times. Defaults to 1; override
- * with the RTR_BENCH_WARMUP environment variable (0 disables).
+ * with the RTR_BENCH_WARMUP environment variable (0 disables). The
+ * value is parsed strictly: anything that is not a whole non-negative
+ * in-range number (RTR_BENCH_WARMUP=abc, =2x, =1e9...) falls back to
+ * the default 1 rather than silently disabling warmup.
  */
 inline int
 warmupRuns()
 {
     if (const char *env = std::getenv("RTR_BENCH_WARMUP")) {
-        int value = std::atoi(env);
-        return value >= 0 ? value : 1;
+        char *end = nullptr;
+        errno = 0;
+        const long value = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || errno == ERANGE ||
+            value < 0 || value > std::numeric_limits<int>::max())
+            return 1;
+        return static_cast<int>(value);
     }
     return 1;
 }
@@ -104,6 +120,252 @@ threadSweep()
     counts.push_back(hardwareThreads());
     return counts;
 }
+
+/**
+ * Minimal streaming JSON writer for the BENCH_*.json artifacts:
+ * handles nesting, comma placement, string escaping, and non-finite
+ * doubles (emitted as null), so emitters state structure instead of
+ * punctuation. Not a general serializer — no maps, no unicode beyond
+ * pass-through.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : out_(out)
+    {
+        out_.precision(12);
+    }
+
+    /** Open the root (or a nested, when keyed) object. */
+    void
+    beginObject(const std::string &key = std::string())
+    {
+        openContainer(key, '{');
+    }
+
+    void
+    endObject()
+    {
+        closeContainer('}');
+    }
+
+    void
+    beginArray(const std::string &key = std::string())
+    {
+        openContainer(key, '[');
+    }
+
+    void
+    endArray()
+    {
+        closeContainer(']');
+    }
+
+    void
+    field(const std::string &key, double value)
+    {
+        prefix(key);
+        if (std::isfinite(value))
+            out_ << value;
+        else
+            out_ << "null";
+    }
+
+    void
+    field(const std::string &key, long long value)
+    {
+        prefix(key);
+        out_ << value;
+    }
+
+    void
+    field(const std::string &key, int value)
+    {
+        field(key, static_cast<long long>(value));
+    }
+
+    void
+    field(const std::string &key, bool value)
+    {
+        prefix(key);
+        out_ << (value ? "true" : "false");
+    }
+
+    void
+    field(const std::string &key, const std::string &value)
+    {
+        prefix(key);
+        out_ << '"' << escaped(value) << '"';
+    }
+
+    void
+    field(const std::string &key, const char *value)
+    {
+        field(key, std::string(value));
+    }
+
+  private:
+    /** Comma/newline/indent bookkeeping before any value or "key":. */
+    void
+    prefix(const std::string &key)
+    {
+        if (!stack_.empty()) {
+            if (stack_.back())
+                out_ << ",";
+            stack_.back() = true;
+            out_ << "\n" << std::string(2 * stack_.size(), ' ');
+        }
+        if (!key.empty())
+            out_ << '"' << escaped(key) << "\": ";
+    }
+
+    void
+    openContainer(const std::string &key, char open)
+    {
+        prefix(key);
+        out_ << open;
+        stack_.push_back(false);
+    }
+
+    void
+    closeContainer(char close)
+    {
+        const bool had_items = !stack_.empty() && stack_.back();
+        if (!stack_.empty())
+            stack_.pop_back();
+        if (had_items)
+            out_ << "\n" << std::string(2 * stack_.size(), ' ');
+        out_ << close;
+        if (stack_.empty())
+            out_ << "\n";
+    }
+
+    static std::string
+    escaped(const std::string &in)
+    {
+        std::string out;
+        out.reserve(in.size());
+        for (char c : in) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    std::ostream &out_;
+    std::vector<bool> stack_;
+};
+
+/**
+ * Shared observability harness of the bench binaries. Construct first
+ * thing in main() with argc/argv; it strips the flags every bench
+ * understands and leaves the rest for the binary:
+ *
+ *   --trace <out.json>  record a structured trace of the whole bench
+ *                       (kernel phases, ROI markers, worker threads)
+ *                       and export Chrome/Perfetto trace-event JSON on
+ *                       exit;
+ *   --counters          count hardware events (perf_event_open group)
+ *                       over every region of interest the bench
+ *                       executes and print IPC / cache miss ratios at
+ *                       exit, or "n/a" where the host denies the PMU.
+ */
+class Harness
+{
+  public:
+    Harness(int &argc, char **argv)
+    {
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--trace" && i + 1 < argc) {
+                trace_path_ = argv[++i];
+            } else if (arg.rfind("--trace=", 0) == 0) {
+                trace_path_ = arg.substr(8);
+            } else if (arg == "--counters") {
+                counters_ = true;
+            } else {
+                argv[out++] = argv[i];
+            }
+        }
+        argc = out;
+
+        if (!trace_path_.empty()) {
+            telemetry::Tracer::global().registerCurrentThread("main");
+            telemetry::Tracer::global().enable();
+        }
+        if (counters_) {
+            group_.open();
+            telemetry::armRoiCounters(&group_);
+        }
+    }
+
+    ~Harness()
+    {
+        if (counters_) {
+            telemetry::armRoiCounters(nullptr);
+            printCounters();
+        }
+        if (!trace_path_.empty()) {
+            telemetry::Tracer &tracer = telemetry::Tracer::global();
+            tracer.disable();
+            if (telemetry::writeChromeTraceFile(tracer, trace_path_)) {
+                std::cout << "\ntrace: wrote " << tracer.totalEvents()
+                          << " events to " << trace_path_;
+                if (tracer.totalDropped() > 0)
+                    std::cout << " (" << tracer.totalDropped()
+                              << " dropped: buffer full)";
+                std::cout << "\n";
+            } else {
+                std::cerr << "trace: cannot write " << trace_path_
+                          << "\n";
+            }
+        }
+    }
+
+    Harness(const Harness &) = delete;
+    Harness &operator=(const Harness &) = delete;
+
+  private:
+    void
+    printCounters()
+    {
+        std::cout << "\nhardware counters (all ROIs of this run):\n";
+        if (!group_.supported()) {
+            std::cout << "  n/a (" << group_.unsupportedReason()
+                      << ")\n";
+            return;
+        }
+        const telemetry::PerfSample sample = group_.read();
+        auto num = [](std::optional<double> v, int digits) {
+            return v ? Table::num(*v, digits) : std::string("n/a");
+        };
+        using PC = telemetry::PerfCounter;
+        auto raw = [&](PC c) {
+            return sample.has(c) ? Table::num(sample.get(c) / 1e6, 1)
+                                 : std::string("n/a");
+        };
+        std::cout << "  instructions: " << raw(PC::Instructions)
+                  << " M   cycles: " << raw(PC::Cycles)
+                  << " M   IPC: " << num(sample.ipc(), 2) << "\n";
+        std::cout << "  L1D miss ratio: "
+                  << num(sample.l1dMissRatio(), 4)
+                  << "   LLC miss ratio: "
+                  << num(sample.llcMissRatio(), 4)
+                  << "   LLC MPKI: "
+                  << num(sample.mpki(PC::LlcMisses), 2)
+                  << "   branch MPKI: "
+                  << num(sample.mpki(PC::BranchMisses), 2) << "\n";
+        if (sample.multiplexed)
+            std::cout << "  (counters were multiplexed; values are "
+                         "scaled estimates)\n";
+    }
+
+    std::string trace_path_;
+    bool counters_ = false;
+    telemetry::PerfCounterGroup group_;
+};
 
 /** Render a (possibly downsampled) series as a sparkline-style row. */
 inline std::string

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Per-kernel hardware-counter characterization (the measured analog of
+ * the paper's zsim micro-architectural numbers: Figs. 15/18/19 and the
+ * cache-behaviour claims of §V): every kernel runs single-threaded
+ * with a perf_event_open group gated on its region of interest, and
+ * the table/JSON report IPC, L1D/LLC miss ratios, and MPKI per kernel.
+ *
+ * `--json [path]` additionally writes BENCH_counters.json (default
+ * path) so EXPERIMENTS.md's cache-claims section tracks measured
+ * numbers. On hosts that deny perf_event_open (containers,
+ * perf_event_paranoid, missing PMU) the run degrades gracefully: the
+ * table prints n/a, the JSON records "counters": "unsupported" with
+ * the errno text, and the exit status stays 0.
+ */
+
+#include <cstring>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace rtr;
+using namespace rtr::bench;
+
+/** Reduced-but-representative per-kernel configurations. */
+struct Row
+{
+    const char *kernel;
+    std::vector<std::string> overrides;
+};
+
+const std::vector<Row> kRows = {
+    {"pfl", {"--particles", "800", "--steps", "50", "--threads", "1"}},
+    {"ekfslam", {}},
+    {"srec", {"--frames", "8", "--threads", "1"}},
+    {"pp2d", {"--map-size", "512"}},
+    {"pp3d", {"--map-size", "128"}},
+    {"movtar", {"--env-size", "96"}},
+    {"prm", {"--threads", "1"}},
+    {"rrt", {}},
+    {"rrtstar", {"--samples", "2500"}},
+    {"rrtpp", {}},
+    {"sym-blkw", {}},
+    {"sym-fext", {}},
+    {"dmp", {}},
+    {"mpc", {"--ref-points", "60", "--threads", "1"}},
+    {"cem", {"--repeats", "500", "--threads", "1"}},
+    {"bo", {"--candidates", "8000"}},
+};
+
+/** One kernel's measured counters. */
+struct Result
+{
+    std::string kernel;
+    double roi_seconds = 0.0;
+    telemetry::PerfSample sample;
+};
+
+std::string
+fmt(std::optional<double> value, int digits)
+{
+    return value ? Table::num(*value, digits) : std::string("n/a");
+}
+
+void
+writeJson(const std::string &path, bool supported,
+          const std::string &reason, const std::vector<Result> &results)
+{
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    using PC = telemetry::PerfCounter;
+    JsonWriter json(file);
+    json.beginObject();
+    json.field("benchmark", "fig15_counters");
+    json.field("threads", 1);
+    json.field("scope", "user-space instructions inside each kernel's "
+                        "ROI, calling thread");
+    if (!supported) {
+        json.field("counters", "unsupported");
+        json.field("reason", reason);
+    } else {
+        json.field("counters", "ok");
+        json.beginArray("kernels");
+        for (const Result &result : results) {
+            json.beginObject();
+            json.field("kernel", result.kernel);
+            json.field("roi_seconds", result.roi_seconds);
+            for (std::size_t i = 0; i < telemetry::kPerfCounterCount;
+                 ++i) {
+                const auto counter = static_cast<PC>(i);
+                if (result.sample.has(counter))
+                    json.field(telemetry::perfCounterName(counter),
+                               result.sample.get(counter));
+                else
+                    json.field(telemetry::perfCounterName(counter),
+                               "n/a");
+            }
+            auto derived = [&](const char *key,
+                               std::optional<double> value) {
+                if (value)
+                    json.field(key, *value);
+                else
+                    json.field(key, "n/a");
+            };
+            derived("ipc", result.sample.ipc());
+            derived("l1d_miss_ratio", result.sample.l1dMissRatio());
+            derived("llc_miss_ratio", result.sample.llcMissRatio());
+            derived("l1d_mpki", result.sample.mpki(PC::L1dMisses));
+            derived("llc_mpki", result.sample.mpki(PC::LlcMisses));
+            derived("branch_mpki",
+                    result.sample.mpki(PC::BranchMisses));
+            json.field("multiplexed", result.sample.multiplexed);
+            json.endObject();
+        }
+        json.endArray();
+    }
+    json.endObject();
+    std::cout << "\nwrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    rtr::bench::Harness harness(argc, argv);
+
+    bool write_json = false;
+    std::string json_path = "BENCH_counters.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            write_json = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                json_path = argv[++i];
+        }
+    }
+
+    banner("Hardware counters — per-kernel IPC and cache behaviour",
+           "the zsim micro-architectural numbers (Figs. 15/18/19, "
+           "cache claims of paragraph V), measured with perf_event "
+           "groups over each kernel's ROI");
+
+    telemetry::PerfCounterGroup group;
+    if (!group.open()) {
+        std::cout << "hardware counters unavailable on this host: "
+                  << group.unsupportedReason() << "\n"
+                  << "(check kernel.perf_event_paranoid / container "
+                     "seccomp policy; all metrics degrade to n/a)\n";
+        if (write_json)
+            writeJson(json_path, false, group.unsupportedReason(), {});
+        return 0;
+    }
+
+    std::vector<Result> results;
+    Table table({"Kernel", "IPC", "L1D miss", "LLC miss", "LLC MPKI",
+                 "br MPKI", "instr (M)", "ROI (ms)"});
+    for (const Row &row : kRows) {
+        // Warm run, un-armed: page faults and map generation do not
+        // reach the counters.
+        for (int w = 0; w < warmupRuns(); ++w)
+            (void)runKernel(row.kernel, row.overrides);
+
+        group.reset();
+        telemetry::armRoiCounters(&group);
+        KernelReport report = runKernel(row.kernel, row.overrides);
+        telemetry::armRoiCounters(nullptr);
+
+        Result result;
+        result.kernel = row.kernel;
+        result.roi_seconds = report.roi_seconds;
+        result.sample = group.read();
+        results.push_back(result);
+
+        using PC = telemetry::PerfCounter;
+        const telemetry::PerfSample &s = result.sample;
+        table.addRow(
+            {result.kernel, fmt(s.ipc(), 2),
+             s.l1dMissRatio() ? Table::pct(*s.l1dMissRatio(), 1)
+                              : std::string("n/a"),
+             s.llcMissRatio() ? Table::pct(*s.llcMissRatio(), 1)
+                              : std::string("n/a"),
+             fmt(s.mpki(PC::LlcMisses), 2),
+             fmt(s.mpki(PC::BranchMisses), 2),
+             s.has(PC::Instructions)
+                 ? Table::num(s.get(PC::Instructions) / 1e6, 0)
+                 : std::string("n/a"),
+             Table::num(report.roi_seconds * 1e3, 1)});
+    }
+    table.print();
+    std::cout << "\nscope: user-space instructions on the calling "
+                 "thread, inside each kernel's ROI (--threads 1 on "
+                 "parallel kernels so nothing escapes the counter "
+                 "scope)\n";
+
+    if (write_json)
+        writeJson(json_path, true, "", results);
+    return 0;
+}

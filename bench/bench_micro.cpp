@@ -314,25 +314,32 @@ writeRaycastBaseline(const std::string &path)
         std::cerr << "cannot write " << path << "\n";
         return 1;
     }
-    file << "{\n"
-         << "  \"benchmark\": \"castScan\",\n"
-         << "  \"map\": {\"generator\": \"indoor\", \"width\": "
-         << map.width() << ", \"height\": " << map.height()
-         << ", \"resolution_m\": " << map.resolution() << "},\n"
-         << "  \"rays\": " << static_cast<long long>(rays) << ",\n"
-         << "  \"max_range_m\": " << max_range << ",\n"
-         << "  \"scalar\": {\"ns_per_ray\": "
-         << scalar_sec * 1e9 / rays << ", \"cells_per_ray\": "
-         << static_cast<double>(scalar_stats.probes) / rays << "},\n"
-         << "  \"hierarchical\": {\"ns_per_ray\": "
-         << hier_sec * 1e9 / rays << ", \"cells_per_ray\": "
-         << static_cast<double>(hier_stats.probes) / rays
-         << ", \"steps_per_ray\": "
-         << static_cast<double>(hier_stats.steps) / rays << "},\n"
-         << "  \"speedup\": " << scalar_sec / hier_sec << ",\n"
-         << "  \"bitwise_identical\": "
-         << (identical ? "true" : "false") << "\n"
-         << "}\n";
+    rtr::bench::JsonWriter json(file);
+    json.beginObject();
+    json.field("benchmark", "castScan");
+    json.beginObject("map");
+    json.field("generator", "indoor");
+    json.field("width", map.width());
+    json.field("height", map.height());
+    json.field("resolution_m", map.resolution());
+    json.endObject();
+    json.field("rays", static_cast<long long>(rays));
+    json.field("max_range_m", max_range);
+    json.beginObject("scalar");
+    json.field("ns_per_ray", scalar_sec * 1e9 / rays);
+    json.field("cells_per_ray",
+               static_cast<double>(scalar_stats.probes) / rays);
+    json.endObject();
+    json.beginObject("hierarchical");
+    json.field("ns_per_ray", hier_sec * 1e9 / rays);
+    json.field("cells_per_ray",
+               static_cast<double>(hier_stats.probes) / rays);
+    json.field("steps_per_ray",
+               static_cast<double>(hier_stats.steps) / rays);
+    json.endObject();
+    json.field("speedup", scalar_sec / hier_sec);
+    json.field("bitwise_identical", identical);
+    json.endObject();
     std::cout << "castScan baseline (" << static_cast<long long>(rays)
               << " rays, " << map.width() << "x" << map.height() << " @ "
               << map.resolution() << " m):\n"
@@ -355,11 +362,13 @@ writeRaycastBaseline(const std::string &path)
 /**
  * Custom main: `bench_micro --json [path]` emits the ray-cast baseline
  * (default BENCH_raycast.json) and exits; anything else is handed to
- * google-benchmark unchanged.
+ * google-benchmark unchanged (after the shared harness strips
+ * --trace/--counters).
  */
 int
 main(int argc, char **argv)
 {
+    rtr::bench::Harness harness(argc, argv);
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             std::string path = "BENCH_raycast.json";

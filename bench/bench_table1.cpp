@@ -45,8 +45,9 @@ const std::vector<Row> kRows = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    rtr::bench::Harness harness(argc, argv);
     banner("Table I — RTRBench's kernels and their key characteristics",
            "stage + dominant bottleneck per kernel (Table I)");
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Local CI: build + ctest across the sanitizer matrix.
+#
+#   scripts/check.sh              # release + asan + ubsan + tsan
+#   scripts/check.sh release asan # just those variants
+#
+# Each variant uses its own build tree (build-check-<variant>) so the
+# trees stay warm across runs. TSan runs the thread-focused suites
+# (Parallel/Telemetry) — the full suite under TSan is slow and the
+# remaining tests are single-threaded by construction.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+variants=("$@")
+if [ ${#variants[@]} -eq 0 ]; then
+    variants=(release asan ubsan tsan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+for variant in "${variants[@]}"; do
+    dir="build-check-${variant}"
+    cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
+    test_args=(--output-on-failure -j "${jobs}")
+    case "${variant}" in
+      release) ;;
+      asan)  cmake_args+=(-DRTR_ASAN=ON) ;;
+      ubsan) cmake_args+=(-DRTR_UBSAN=ON) ;;
+      tsan)  cmake_args+=(-DRTR_TSAN=ON)
+             test_args+=(-R 'Parallel|Telemetry') ;;
+      *) echo "unknown variant '${variant}'" >&2; exit 2 ;;
+    esac
+
+    echo "==== ${variant}: configure + build (${dir}) ===="
+    cmake -B "${dir}" -S . "${cmake_args[@]}" > /dev/null
+    cmake --build "${dir}" -j "${jobs}"
+
+    echo "==== ${variant}: ctest ===="
+    ctest --test-dir "${dir}" "${test_args[@]}"
+done
+
+echo "==== all variants passed: ${variants[*]} ===="

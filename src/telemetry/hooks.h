@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Telemetry entry points for the ROI hooks (util/roi.h).
+ *
+ * Kept to two declarations so including this from the widely-used ROI
+ * header stays free: the implementations (in the telemetry library)
+ * emit roi-begin/roi-end instant events into the tracer and gate the
+ * armed perf-counter group (perf_counters.h), both no-ops when neither
+ * facility is active.
+ */
+
+#ifndef RTR_TELEMETRY_HOOKS_H
+#define RTR_TELEMETRY_HOOKS_H
+
+namespace rtr {
+namespace telemetry {
+
+/** Called by rtr::roiBegin(): trace instant + enable armed counters. */
+void notifyRoiBegin();
+
+/** Called by rtr::roiEnd(): disable armed counters + trace instant. */
+void notifyRoiEnd();
+
+} // namespace telemetry
+} // namespace rtr
+
+#endif // RTR_TELEMETRY_HOOKS_H

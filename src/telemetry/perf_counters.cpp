@@ -1,0 +1,287 @@
+#include "telemetry/perf_counters.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "telemetry/trace.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace rtr {
+namespace telemetry {
+
+const char *
+perfCounterName(PerfCounter counter)
+{
+    switch (counter) {
+      case PerfCounter::Cycles:
+        return "cycles";
+      case PerfCounter::Instructions:
+        return "instructions";
+      case PerfCounter::L1dLoads:
+        return "l1d_loads";
+      case PerfCounter::L1dMisses:
+        return "l1d_misses";
+      case PerfCounter::LlcLoads:
+        return "llc_loads";
+      case PerfCounter::LlcMisses:
+        return "llc_misses";
+      case PerfCounter::BranchMisses:
+        return "branch_misses";
+    }
+    return "unknown";
+}
+
+std::optional<double>
+PerfSample::ratio(PerfCounter a, PerfCounter b) const
+{
+    if (!has(a) || !has(b) || get(b) <= 0.0)
+        return std::nullopt;
+    return get(a) / get(b);
+}
+
+std::optional<double>
+PerfSample::mpki(PerfCounter counter) const
+{
+    if (!has(counter) || !has(PerfCounter::Instructions) ||
+        get(PerfCounter::Instructions) <= 0.0)
+        return std::nullopt;
+    return get(counter) * 1000.0 / get(PerfCounter::Instructions);
+}
+
+#if defined(__linux__)
+
+namespace {
+
+/** type/config pair of each PerfCounter, in enum order. */
+struct EventSpec
+{
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr std::uint64_t
+cacheConfig(std::uint64_t cache, std::uint64_t op, std::uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+constexpr EventSpec kEventSpecs[kPerfCounterCount] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     cacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                 PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int
+openEvent(const EventSpec &spec, int group_fd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = spec.type;
+    attr.config = spec.config;
+    // Count user-space work of this thread only: works at
+    // perf_event_paranoid <= 2 and matches the phase timers' scope.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                       PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    // The group starts disabled; enable()/roiBegin() turn it on.
+    attr.disabled = group_fd == -1 ? 1 : 0;
+    return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0, -1,
+                                    group_fd, 0));
+}
+
+} // namespace
+
+bool
+PerfCounterGroup::open()
+{
+    if (open_attempted_)
+        return supported();
+    open_attempted_ = true;
+
+    if (const char *env = std::getenv("RTR_NO_PERF")) {
+        if (env[0] != '\0' && env[0] != '0') {
+            reason_ = "disabled by RTR_NO_PERF";
+            return false;
+        }
+    }
+
+    // Leader: cycles. If this fails, the host denies perf entirely
+    // (paranoid sysctl, seccomp, no PMU) — report why and stay inert.
+    const std::size_t leader =
+        static_cast<std::size_t>(PerfCounter::Cycles);
+    int fd = openEvent(kEventSpecs[leader], -1);
+    if (fd < 0) {
+        reason_ = std::string("perf_event_open: ") +
+                  std::strerror(errno);
+        return false;
+    }
+    fds_[leader] = fd;
+    leader_fd_ = fd;
+    ioctl(fd, PERF_EVENT_IOC_ID, &ids_[leader]);
+
+    // Members: best-effort. A host without, say, LLC events still
+    // yields IPC and L1D numbers; absent counters read as "n/a".
+    for (std::size_t i = 0; i < kPerfCounterCount; ++i) {
+        if (i == leader)
+            continue;
+        fds_[i] = openEvent(kEventSpecs[i], leader_fd_);
+        if (fds_[i] >= 0)
+            ioctl(fds_[i], PERF_EVENT_IOC_ID, &ids_[i]);
+    }
+    return true;
+}
+
+void
+PerfCounterGroup::reset()
+{
+    if (supported())
+        ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+}
+
+void
+PerfCounterGroup::enable()
+{
+    if (supported())
+        ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void
+PerfCounterGroup::disable()
+{
+    if (supported())
+        ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample
+PerfCounterGroup::read() const
+{
+    PerfSample sample;
+    if (!supported())
+        return sample;
+
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+    // then {value, id} per member.
+    std::uint64_t buf[3 + 2 * kPerfCounterCount] = {};
+    const ssize_t got = ::read(leader_fd_, buf, sizeof(buf));
+    if (got < static_cast<ssize_t>(3 * sizeof(std::uint64_t)))
+        return sample;
+
+    const std::uint64_t nr = buf[0];
+    const std::uint64_t time_enabled = buf[1];
+    const std::uint64_t time_running = buf[2];
+    double scale = 1.0;
+    if (time_running > 0 && time_running < time_enabled) {
+        scale = static_cast<double>(time_enabled) /
+                static_cast<double>(time_running);
+        sample.multiplexed = true;
+    }
+    if (time_running == 0)
+        return sample; // never scheduled: no counts to report
+
+    for (std::uint64_t m = 0; m < nr && m < kPerfCounterCount; ++m) {
+        const std::uint64_t value = buf[3 + 2 * m];
+        const std::uint64_t id = buf[3 + 2 * m + 1];
+        for (std::size_t i = 0; i < kPerfCounterCount; ++i) {
+            if (fds_[i] >= 0 && ids_[i] == id) {
+                sample.value[i] = static_cast<double>(value) * scale;
+                sample.available[i] = true;
+                break;
+            }
+        }
+    }
+    return sample;
+}
+
+void
+PerfCounterGroup::close()
+{
+    for (int &fd : fds_) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+    leader_fd_ = -1;
+}
+
+#else // !__linux__
+
+bool
+PerfCounterGroup::open()
+{
+    open_attempted_ = true;
+    reason_ = "perf_event_open requires Linux";
+    return false;
+}
+
+void PerfCounterGroup::reset() {}
+void PerfCounterGroup::enable() {}
+void PerfCounterGroup::disable() {}
+
+PerfSample
+PerfCounterGroup::read() const
+{
+    return PerfSample{};
+}
+
+void
+PerfCounterGroup::close()
+{
+}
+
+#endif // __linux__
+
+PerfCounterGroup::~PerfCounterGroup() { close(); }
+
+namespace {
+
+/** The group gated by the ROI hooks (main-thread use by design). */
+PerfCounterGroup *g_roi_group = nullptr;
+
+} // namespace
+
+void
+armRoiCounters(PerfCounterGroup *group)
+{
+    g_roi_group = group;
+}
+
+void
+notifyRoiBegin()
+{
+    instant("roi-begin", Category::Roi);
+    if (g_roi_group)
+        g_roi_group->enable();
+}
+
+void
+notifyRoiEnd()
+{
+    if (g_roi_group)
+        g_roi_group->disable();
+    instant("roi-end", Category::Roi);
+}
+
+} // namespace telemetry
+} // namespace rtr

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Hardware performance-counter sessions over perf_event_open(2).
+ *
+ * The paper's micro-architectural claims (IPC, L1D/LLC miss ratios,
+ * MPKI — Figs. 15/18/19 and much of §V) come from zsim. On a real
+ * machine the same quantities are measured with the PMU: one
+ * perf_event_open *group* (all counters scheduled together, so their
+ * ratios are taken over the same instruction window) counting cycles,
+ * instructions, L1D loads + misses, LLC loads + misses, and branch
+ * misses on the calling thread.
+ *
+ * Availability is never assumed: containers, VMs, and
+ * `kernel.perf_event_paranoid` commonly deny the syscall, and many
+ * hosts lack specific cache events. A group that cannot open reports
+ * supported() == false with a reason string, individual events that
+ * fail are reported per-counter, and every consumer in this repo
+ * prints "n/a" instead of failing. Setting RTR_NO_PERF=1 forces the
+ * unsupported path (used by tests and for A/B runs).
+ */
+
+#ifndef RTR_TELEMETRY_PERF_COUNTERS_H
+#define RTR_TELEMETRY_PERF_COUNTERS_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace rtr {
+namespace telemetry {
+
+/** The fixed counter set of a group session. */
+enum class PerfCounter : std::uint8_t
+{
+    Cycles,
+    Instructions,
+    L1dLoads,
+    L1dMisses,
+    LlcLoads,
+    LlcMisses,
+    BranchMisses,
+};
+
+constexpr std::size_t kPerfCounterCount = 7;
+
+/** Display name ("cycles", "l1d_misses", ...). */
+const char *perfCounterName(PerfCounter counter);
+
+/**
+ * One reading of a counter group. Values are scaled for multiplexing
+ * (value * time_enabled / time_running) when the kernel had to rotate
+ * the group onto the PMU; `multiplexed` flags that the numbers are
+ * estimates rather than exact counts.
+ */
+struct PerfSample
+{
+    std::array<double, kPerfCounterCount> value{};
+    std::array<bool, kPerfCounterCount> available{};
+    bool multiplexed = false;
+
+    bool
+    has(PerfCounter counter) const
+    {
+        return available[static_cast<std::size_t>(counter)];
+    }
+
+    double
+    get(PerfCounter counter) const
+    {
+        return value[static_cast<std::size_t>(counter)];
+    }
+
+    /** value(a) / value(b) when both are available and b > 0. */
+    std::optional<double> ratio(PerfCounter a, PerfCounter b) const;
+
+    /** Instructions per cycle. */
+    std::optional<double>
+    ipc() const
+    {
+        return ratio(PerfCounter::Instructions, PerfCounter::Cycles);
+    }
+
+    /** L1D misses / L1D loads. */
+    std::optional<double>
+    l1dMissRatio() const
+    {
+        return ratio(PerfCounter::L1dMisses, PerfCounter::L1dLoads);
+    }
+
+    /** LLC misses / LLC loads. */
+    std::optional<double>
+    llcMissRatio() const
+    {
+        return ratio(PerfCounter::LlcMisses, PerfCounter::LlcLoads);
+    }
+
+    /** Misses per kilo-instruction for any counter. */
+    std::optional<double> mpki(PerfCounter counter) const;
+};
+
+/**
+ * A perf_event_open group session counting the PerfCounter set on the
+ * calling thread (user space only). Lifecycle:
+ *
+ *   PerfCounterGroup group;
+ *   if (group.open()) { group.enable(); ...; group.disable(); }
+ *   PerfSample sample = group.read();   // "n/a" fields when !open
+ *
+ * enable()/disable() nest by pairing (the kernel counts while enabled)
+ * and accumulate across windows until reset(). All methods are safe to
+ * call on an unsupported session (they do nothing), so callers need no
+ * #ifdef or branching beyond presenting "n/a".
+ */
+class PerfCounterGroup
+{
+  public:
+    PerfCounterGroup() = default;
+    ~PerfCounterGroup();
+
+    PerfCounterGroup(const PerfCounterGroup &) = delete;
+    PerfCounterGroup &operator=(const PerfCounterGroup &) = delete;
+
+    /**
+     * Try to open the group (idempotent). False when perf_event_open
+     * is unavailable for the *leader* event; individual non-leader
+     * events may still be missing on success (see counterSupported).
+     */
+    bool open();
+
+    /** Whether the session is live (leader opened). */
+    bool supported() const { return leader_fd_ >= 0; }
+
+    /** Why open() failed ("" while supported or before open()). */
+    const std::string &unsupportedReason() const { return reason_; }
+
+    /** Whether one counter of the group actually opened. */
+    bool
+    counterSupported(PerfCounter counter) const
+    {
+        return fds_[static_cast<std::size_t>(counter)] >= 0;
+    }
+
+    /** Zero all counters of the group. */
+    void reset();
+
+    /** Start counting (group-wide). */
+    void enable();
+
+    /** Stop counting (group-wide); totals keep accumulating. */
+    void disable();
+
+    /** Read the group's accumulated totals. */
+    PerfSample read() const;
+
+  private:
+    void close();
+
+    std::array<int, kPerfCounterCount> fds_{-1, -1, -1, -1,
+                                            -1, -1, -1};
+    std::array<std::uint64_t, kPerfCounterCount> ids_{};
+    int leader_fd_ = -1;
+    bool open_attempted_ = false;
+    std::string reason_;
+};
+
+/**
+ * Arm (or, with nullptr, disarm) a group to be gated by the ROI hooks:
+ * rtr::roiBegin() enables it, rtr::roiEnd() disables it, so the
+ * counters cover exactly the region the paper's zsim hooks bracket,
+ * accumulating across ROIs until the group is reset. The armed pointer
+ * is process-global; arm/disarm from the main thread only.
+ */
+void armRoiCounters(PerfCounterGroup *group);
+
+} // namespace telemetry
+} // namespace rtr
+
+#endif // RTR_TELEMETRY_PERF_COUNTERS_H

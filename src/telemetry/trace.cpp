@@ -1,0 +1,114 @@
+#include "telemetry/trace.h"
+
+namespace rtr {
+namespace telemetry {
+
+namespace {
+
+/**
+ * Per-thread buffer cache: pairs the resolved buffer with the owning
+ * tracer's generation so Tracer::reset() (which frees the buffers)
+ * invalidates the cache instead of leaving it dangling.
+ */
+struct BufferCache
+{
+    ThreadBuffer *buffer = nullptr;
+    std::uint64_t generation = 0;
+};
+
+thread_local BufferCache tl_cache;
+
+} // namespace
+
+const char *
+categoryName(Category cat)
+{
+    switch (cat) {
+      case Category::Phase:
+        return "phase";
+      case Category::Roi:
+        return "roi";
+      case Category::Bench:
+        return "bench";
+      case Category::Counter:
+        return "counter";
+      case Category::User:
+        return "user";
+    }
+    return "user";
+}
+
+Tracer &
+Tracer::global()
+{
+    // Intentionally leaked: pool workers touch the tracer at thread
+    // entry, and static-destruction order across TUs would otherwise
+    // race a late-starting worker against ~Tracer at process exit.
+    // The buffers stay reachable through this pointer, so leak
+    // checkers stay quiet and the OS reclaims them.
+    static Tracer *tracer = new Tracer;
+    return *tracer;
+}
+
+void
+Tracer::registerCurrentThread(std::string name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tl_cache.buffer &&
+        tl_cache.generation ==
+            generation_.load(std::memory_order_relaxed)) {
+        tl_cache.buffer->setThreadName(std::move(name));
+        return;
+    }
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        next_tid_++, std::move(name), capacity_));
+    tl_cache.buffer = buffers_.back().get();
+    tl_cache.generation = generation_.load(std::memory_order_relaxed);
+}
+
+ThreadBuffer &
+Tracer::currentBuffer()
+{
+    if (tl_cache.buffer &&
+        tl_cache.generation ==
+            generation_.load(std::memory_order_relaxed))
+        return *tl_cache.buffer;
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        next_tid_, "thread-" + std::to_string(next_tid_), capacity_));
+    ++next_tid_;
+    tl_cache.buffer = buffers_.back().get();
+    tl_cache.generation = generation_.load(std::memory_order_relaxed);
+    return *tl_cache.buffer;
+}
+
+std::size_t
+Tracer::totalEvents() const
+{
+    std::size_t total = 0;
+    for (const ThreadBuffer *buffer : buffers())
+        total += buffer->size();
+    return total;
+}
+
+std::uint64_t
+Tracer::totalDropped() const
+{
+    std::uint64_t total = 0;
+    for (const ThreadBuffer *buffer : buffers())
+        total += buffer->dropped();
+    return total;
+}
+
+void
+Tracer::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.clear();
+    next_tid_ = 1;
+    t0_ns_ = 0;
+    generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace telemetry
+} // namespace rtr

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Structured tracing: bounded per-thread event buffers.
+ *
+ * The paper's evaluation is largely *observability* — which phase a
+ * kernel spends its cycles in, and how the memory system behaves while
+ * it does. This tracer gives every run a machine-readable timeline to
+ * answer the first question (perf_counters.h answers the second):
+ *
+ *  - Each thread owns a fixed-capacity single-producer buffer of
+ *    64-byte events (spans, instants, numeric counter samples) stamped
+ *    with steady-clock nanoseconds. The owning thread is the only
+ *    writer; the exporter is the only reader (classic SPSC split — the
+ *    producer publishes its write index with a release store, the
+ *    consumer acquires it), so recording takes no locks and no
+ *    allocation after registration.
+ *  - Memory is bounded by construction: when a buffer is full, new
+ *    events are *dropped and counted*, never overwritten — a truncated
+ *    trace is still a valid trace, and the drop counter makes the
+ *    truncation explicit.
+ *  - Recording is globally gated by one relaxed atomic flag, so
+ *    instrumentation left in library code costs a single predictable
+ *    branch when tracing is off.
+ *
+ * trace_export.h serializes the buffers to Chrome/Perfetto trace-event
+ * JSON (`chrome://tracing`, https://ui.perfetto.dev).
+ */
+
+#ifndef RTR_TELEMETRY_TRACE_H
+#define RTR_TELEMETRY_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtr {
+namespace telemetry {
+
+/** Event category; exported as the Chrome trace "cat" field. */
+enum class Category : std::uint8_t
+{
+    Phase,   ///< PhaseProfiler-mirrored kernel phases.
+    Roi,     ///< Region-of-interest begin/end markers.
+    Bench,   ///< Benchmark-harness structure (runs, sweeps).
+    Counter, ///< Numeric counter samples.
+    User,    ///< Anything else.
+};
+
+/** Display name of a category. */
+const char *categoryName(Category cat);
+
+/** One recorded event (fixed 64 bytes; names are truncated to fit). */
+struct TraceEvent
+{
+    enum class Type : std::uint8_t
+    {
+        Complete, ///< A span: [ts_ns, ts_ns + dur_ns).
+        Instant,  ///< A point in time.
+        Counter,  ///< A sampled numeric value.
+    };
+
+    static constexpr std::size_t kNameCapacity = 37;
+
+    std::int64_t ts_ns = 0;  ///< steady-clock stamp (epoch: process).
+    std::int64_t dur_ns = 0; ///< Complete spans only.
+    double value = 0.0;      ///< Counter samples only.
+    char name[kNameCapacity + 1] = {};
+    Type type = Type::Instant;
+    Category cat = Category::User;
+
+    /** Copy (and truncate) a name into the fixed-size field. */
+    void
+    setName(std::string_view n)
+    {
+        const std::size_t len = n.size() < kNameCapacity
+                                    ? n.size()
+                                    : kNameCapacity;
+        std::memcpy(name, n.data(), len);
+        name[len] = '\0';
+    }
+};
+
+static_assert(sizeof(TraceEvent) == 64, "TraceEvent must stay one line");
+
+/** Steady-clock nanoseconds (the tracer's time base). */
+inline std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * One thread's bounded event buffer. Only the owning thread calls
+ * push(); any thread may read size()/dropped() and, after recording
+ * has quiesced, the events themselves.
+ */
+class ThreadBuffer
+{
+  public:
+    ThreadBuffer(std::uint32_t tid, std::string name,
+                 std::size_t capacity)
+        : events_(capacity), tid_(tid), name_(std::move(name))
+    {
+    }
+
+    /** Record one event; counts a drop (and keeps the buffer) if full. */
+    void
+    push(const TraceEvent &event)
+    {
+        const std::size_t n = size_.load(std::memory_order_relaxed);
+        if (n >= events_.size()) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        events_[n] = event;
+        size_.store(n + 1, std::memory_order_release);
+    }
+
+    /** Events recorded so far (acquire: pairs with push's release). */
+    std::size_t
+    size() const
+    {
+        return size_.load(std::memory_order_acquire);
+    }
+
+    /** Events rejected because the buffer was full. */
+    std::uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return events_.size(); }
+    std::uint32_t tid() const { return tid_; }
+    const std::string &threadName() const { return name_; }
+
+    /** Rename the owning thread (registration after lazy creation). */
+    void setThreadName(std::string name) { name_ = std::move(name); }
+
+    /** i-th recorded event; valid for i < size(). */
+    const TraceEvent &event(std::size_t i) const { return events_[i]; }
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::atomic<std::size_t> size_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::uint32_t tid_;
+    std::string name_;
+};
+
+/**
+ * The trace recorder: a registry of per-thread buffers behind one
+ * global enable flag. Library code records through the free functions
+ * below (span/instant/counter), which are no-ops while disabled.
+ */
+class Tracer
+{
+  public:
+    /** Process-wide tracer used by all instrumentation hooks. */
+    static Tracer &global();
+
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Start recording. Buffers from a previous enable() are kept (the
+     * trace accumulates) unless reset() was called in between.
+     */
+    void
+    enable()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (t0_ns_ == 0)
+            t0_ns_ = nowNs();
+        enabled_.store(true, std::memory_order_relaxed);
+    }
+
+    /** Stop recording (buffers remain readable for export). */
+    void
+    disable()
+    {
+        enabled_.store(false, std::memory_order_relaxed);
+    }
+
+    /** Whether recording is on (one relaxed load — the hot gate). */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Per-thread buffer capacity (events) for buffers registered after
+     * this call; existing buffers keep their size.
+     */
+    void
+    setBufferCapacity(std::size_t events)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        capacity_ = events > 0 ? events : 1;
+    }
+
+    /**
+     * Register the calling thread under a human-readable name (shown
+     * as the Perfetto track name). Threads that record without
+     * registering are auto-registered as "thread-<tid>".
+     */
+    void registerCurrentThread(std::string name);
+
+    /** The calling thread's buffer, registering it if needed. */
+    ThreadBuffer &currentBuffer();
+
+    /** Record an event on the calling thread's buffer. */
+    void
+    record(const TraceEvent &event)
+    {
+        currentBuffer().push(event);
+    }
+
+    /** Trace time origin (first enable(); 0 if never enabled). */
+    std::int64_t
+    timeOriginNs() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return t0_ns_;
+    }
+
+    /** Snapshot of all registered buffers (stable pointers). */
+    std::vector<const ThreadBuffer *>
+    buffers() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<const ThreadBuffer *> out;
+        out.reserve(buffers_.size());
+        for (const auto &buffer : buffers_)
+            out.push_back(buffer.get());
+        return out;
+    }
+
+    /** Sum of recorded events across all buffers. */
+    std::size_t totalEvents() const;
+
+    /** Sum of dropped events across all buffers. */
+    std::uint64_t totalDropped() const;
+
+    /**
+     * Discard all buffers and restart the time origin. Must not run
+     * concurrently with recording threads; thread-local buffer caches
+     * are invalidated via a generation counter.
+     */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> generation_{1};
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::size_t capacity_ = 1 << 14;
+    std::int64_t t0_ns_ = 0;
+    std::uint32_t next_tid_ = 1;
+};
+
+/** Record an instant event (no-op while tracing is disabled). */
+inline void
+instant(std::string_view name, Category cat = Category::User)
+{
+    Tracer &tracer = Tracer::global();
+    if (!tracer.enabled())
+        return;
+    TraceEvent event;
+    event.type = TraceEvent::Type::Instant;
+    event.cat = cat;
+    event.ts_ns = nowNs();
+    event.setName(name);
+    tracer.record(event);
+}
+
+/** Record a numeric counter sample (no-op while disabled). */
+inline void
+counterSample(std::string_view name, double value,
+              Category cat = Category::Counter)
+{
+    Tracer &tracer = Tracer::global();
+    if (!tracer.enabled())
+        return;
+    TraceEvent event;
+    event.type = TraceEvent::Type::Counter;
+    event.cat = cat;
+    event.ts_ns = nowNs();
+    event.value = value;
+    event.setName(name);
+    tracer.record(event);
+}
+
+/** Record a complete span from externally-measured timestamps. */
+inline void
+completeSpan(std::string_view name, Category cat, std::int64_t ts_ns,
+             std::int64_t dur_ns)
+{
+    Tracer &tracer = Tracer::global();
+    if (!tracer.enabled())
+        return;
+    TraceEvent event;
+    event.type = TraceEvent::Type::Complete;
+    event.cat = cat;
+    event.ts_ns = ts_ns;
+    event.dur_ns = dur_ns;
+    event.setName(name);
+    tracer.record(event);
+}
+
+/**
+ * RAII span: stamps on construction, records one Complete event on
+ * destruction. Costs one relaxed load when tracing is disabled. The
+ * name must outlive the span (string literals and phase names do).
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(std::string_view name,
+                       Category cat = Category::User)
+        : name_(name), cat_(cat),
+          active_(Tracer::global().enabled())
+    {
+        if (active_)
+            start_ns_ = nowNs();
+    }
+
+    ~TraceSpan()
+    {
+        if (active_)
+            completeSpan(name_, cat_, start_ns_, nowNs() - start_ns_);
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    std::string_view name_;
+    std::int64_t start_ns_ = 0;
+    Category cat_;
+    bool active_;
+};
+
+} // namespace telemetry
+} // namespace rtr
+
+#endif // RTR_TELEMETRY_TRACE_H

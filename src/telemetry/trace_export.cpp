@@ -1,0 +1,130 @@
+#include "telemetry/trace_export.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace rtr {
+namespace telemetry {
+
+namespace {
+
+/** JSON-escape a name (control characters, quotes, backslashes). */
+std::string
+escape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Microseconds (as a decimal string) relative to the time origin. */
+std::string
+micros(std::int64_t ns, std::int64_t t0_ns)
+{
+    const std::int64_t rel = ns - t0_ns;
+    const std::int64_t whole = rel / 1000;
+    const std::int64_t frac = rel % 1000 < 0 ? -(rel % 1000) : rel % 1000;
+    std::string out = std::to_string(whole);
+    out += '.';
+    if (frac < 100)
+        out += '0';
+    if (frac < 10)
+        out += '0';
+    out += std::to_string(frac);
+    return out;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const Tracer &tracer, std::ostream &out)
+{
+    const std::int64_t t0 = tracer.timeOriginNs();
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out << ",\n";
+        first = false;
+    };
+
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"args\":{\"name\":\"rtrbench\"}}";
+    first = false;
+
+    for (const ThreadBuffer *buffer : tracer.buffers()) {
+        comma();
+        out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+            << buffer->tid() << ",\"args\":{\"name\":\""
+            << escape(buffer->threadName()) << "\"}}";
+        const std::size_t n = buffer->size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceEvent &event = buffer->event(i);
+            comma();
+            out << "{\"name\":\"" << escape(event.name)
+                << "\",\"cat\":\"" << categoryName(event.cat)
+                << "\",\"pid\":1,\"tid\":" << buffer->tid()
+                << ",\"ts\":" << micros(event.ts_ns, t0);
+            switch (event.type) {
+              case TraceEvent::Type::Complete:
+                out << ",\"ph\":\"X\",\"dur\":"
+                    << micros(event.ts_ns + event.dur_ns, event.ts_ns);
+                break;
+              case TraceEvent::Type::Instant:
+                out << ",\"ph\":\"i\",\"s\":\"t\"";
+                break;
+              case TraceEvent::Type::Counter:
+                out << ",\"ph\":\"C\",\"args\":{\"value\":"
+                    << event.value << "}";
+                break;
+            }
+            out << "}";
+        }
+        if (buffer->dropped() > 0) {
+            comma();
+            out << "{\"name\":\"dropped_events\",\"cat\":\"counter\","
+                   "\"ph\":\"C\",\"pid\":1,\"tid\":"
+                << buffer->tid() << ",\"ts\":" << micros(nowNs(), t0)
+                << ",\"args\":{\"value\":" << buffer->dropped() << "}}";
+        }
+    }
+    out << "\n]}\n";
+}
+
+bool
+writeChromeTraceFile(const Tracer &tracer, const std::string &path)
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    writeChromeTrace(tracer, file);
+    return static_cast<bool>(file);
+}
+
+} // namespace telemetry
+} // namespace rtr

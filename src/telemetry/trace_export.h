@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Chrome/Perfetto trace-event JSON export for the tracer.
+ *
+ * The output is the "JSON Array Format" wrapped in an object
+ * (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+ * load it in `chrome://tracing` or https://ui.perfetto.dev. Timestamps
+ * are microseconds relative to the tracer's time origin; spans are "X"
+ * (complete) events, instants "i", counter samples "C", and each
+ * thread contributes an "M" metadata record carrying its name.
+ */
+
+#ifndef RTR_TELEMETRY_TRACE_EXPORT_H
+#define RTR_TELEMETRY_TRACE_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/trace.h"
+
+namespace rtr {
+namespace telemetry {
+
+/**
+ * Serialize every registered buffer to trace-event JSON. Call after
+ * recording has quiesced (tracer disabled, no threads mid-push);
+ * events recorded concurrently with the export may be missed but
+ * never torn (the size index is released by the producer).
+ */
+void writeChromeTrace(const Tracer &tracer, std::ostream &out);
+
+/** writeChromeTrace to a file; returns false if unwritable. */
+bool writeChromeTraceFile(const Tracer &tracer, const std::string &path);
+
+} // namespace telemetry
+} // namespace rtr
+
+#endif // RTR_TELEMETRY_TRACE_EXPORT_H

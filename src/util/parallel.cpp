@@ -3,8 +3,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <string>
 #include <thread>
 
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace rtr {
@@ -110,7 +112,7 @@ class ThreadPool
         stopWorkers();
         workers_.reserve(n_workers);
         for (std::size_t i = 0; i < n_workers; ++i)
-            workers_.emplace_back([this] { workerLoop(); });
+            workers_.emplace_back([this, i] { workerLoop(i); });
     }
 
     void
@@ -130,9 +132,13 @@ class ThreadPool
     }
 
     void
-    workerLoop()
+    workerLoop(std::size_t worker_index)
     {
         tl_in_parallel_region = true;
+        // Name this worker's track in exported traces; harmless (one
+        // registration) when tracing is never enabled.
+        telemetry::Tracer::global().registerCurrentThread(
+            "rtr-worker-" + std::to_string(worker_index + 1));
         std::uint64_t seen = 0;
         std::unique_lock<std::mutex> lock(mutex_);
         while (true) {

@@ -1,5 +1,6 @@
 #include "util/profiler.h"
 
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace rtr {
@@ -26,6 +27,17 @@ PhaseProfiler::end()
                              .count();
     totals_[open.index].ns += elapsed;
     totals_[open.index].count += 1;
+    // Mirror the closed phase into the tracer as a complete span.
+    // Both use the steady clock, so the profiler's own timestamps are
+    // the span; one relaxed load when tracing is off.
+    if (telemetry::Tracer::global().enabled()) {
+        telemetry::completeSpan(
+            totals_[open.index].name, telemetry::Category::Phase,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                open.start.time_since_epoch())
+                .count(),
+            elapsed);
+    }
 }
 
 std::int64_t

@@ -27,6 +27,12 @@ namespace rtr {
  * Phases may nest (each open scope accumulates its own inclusive time);
  * a phase name maps to a single accumulator regardless of nesting depth.
  * Re-entering a phase that is already open on the stack is a library bug.
+ *
+ * When the global tracer (telemetry/trace.h) is enabled, every closed
+ * phase is additionally mirrored into it as a complete span, so an
+ * exported trace shows the exact same phase timeline the profiler
+ * aggregates; with tracing disabled the mirror costs one relaxed load
+ * per end().
  */
 class PhaseProfiler
 {

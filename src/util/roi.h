@@ -15,36 +15,50 @@
 #ifndef RTR_UTIL_ROI_H
 #define RTR_UTIL_ROI_H
 
+#include <atomic>
+
+#include "telemetry/hooks.h"
+
 namespace rtr {
 
 namespace detail {
-inline bool roi_active = false;
+/**
+ * Relaxed atomic so inRoi() queried from pool worker threads is
+ * race-free (TSan-clean); ordering with respect to the ROI body is
+ * still provided by the compiler barriers in roiBegin/roiEnd, exactly
+ * as before the flag became atomic.
+ */
+inline std::atomic<bool> roi_active{false};
 } // namespace detail
 
 /**
  * Mark the beginning of the region of interest. Under zsim this would
- * issue the zsim_roi_begin magic op; here it is a barrier + flag.
+ * issue the zsim_roi_begin magic op; here it is a barrier + flag, plus
+ * a telemetry notification (trace instant event, armed perf-counter
+ * group enable) that is a no-op unless observability was requested.
  */
 inline void
 roiBegin()
 {
     asm volatile("" ::: "memory");
-    detail::roi_active = true;
+    detail::roi_active.store(true, std::memory_order_relaxed);
+    telemetry::notifyRoiBegin();
 }
 
 /** Mark the end of the region of interest. */
 inline void
 roiEnd()
 {
+    telemetry::notifyRoiEnd();
     asm volatile("" ::: "memory");
-    detail::roi_active = false;
+    detail::roi_active.store(false, std::memory_order_relaxed);
 }
 
 /** Whether execution is currently inside the ROI. */
 inline bool
 inRoi()
 {
-    return detail::roi_active;
+    return detail::roi_active.load(std::memory_order_relaxed);
 }
 
 /** RAII ROI marker: begins on construction, ends on destruction. */

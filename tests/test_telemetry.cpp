@@ -1,0 +1,592 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: span recording and nesting,
+ * bounded-buffer overflow accounting, Chrome trace-event JSON export
+ * (validated by an in-test JSON parser and round-tripped), perf
+ * counter graceful degradation, and the bench harness satellites
+ * (strict warmup parsing, JsonWriter).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "../bench/bench_common.h"
+#include "telemetry/perf_counters.h"
+#include "telemetry/trace.h"
+#include "telemetry/trace_export.h"
+#include "util/parallel.h"
+#include "util/profiler.h"
+#include "util/roi.h"
+
+namespace rtr {
+namespace {
+
+using telemetry::Category;
+using telemetry::Tracer;
+using telemetry::TraceEvent;
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser: enough to validate that the
+// exporter emits well-formed trace-event JSON and to read values back.
+// ---------------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+    /** Parse the whole document; ok() reports success. */
+    JsonValue
+    parse()
+    {
+        JsonValue value = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            ok_ = false;
+        return value;
+    }
+
+    bool ok() const { return ok_; }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) == 0) {
+            pos_ += len;
+            return true;
+        }
+        ok_ = false;
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            ok_ = false;
+            return {};
+        }
+        JsonValue value;
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            value.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return value;
+            do {
+                skipWs();
+                JsonValue key = parseString();
+                if (!consume(':')) {
+                    ok_ = false;
+                    return value;
+                }
+                value.members.emplace_back(key.string, parseValue());
+            } while (consume(','));
+            if (!consume('}'))
+                ok_ = false;
+        } else if (c == '[') {
+            ++pos_;
+            value.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return value;
+            do {
+                value.items.push_back(parseValue());
+            } while (consume(','));
+            if (!consume(']'))
+                ok_ = false;
+        } else if (c == '"') {
+            value = parseString();
+        } else if (c == 't') {
+            value.kind = JsonValue::Kind::Bool;
+            value.boolean = true;
+            literal("true");
+        } else if (c == 'f') {
+            value.kind = JsonValue::Kind::Bool;
+            literal("false");
+        } else if (c == 'n') {
+            literal("null");
+        } else {
+            value.kind = JsonValue::Kind::Number;
+            char *end = nullptr;
+            value.number = std::strtod(text_.c_str() + pos_, &end);
+            if (end == text_.c_str() + pos_) {
+                ok_ = false;
+            } else {
+                pos_ = static_cast<std::size_t>(end - text_.c_str());
+            }
+        }
+        return value;
+    }
+
+    JsonValue
+    parseString()
+    {
+        JsonValue value;
+        value.kind = JsonValue::Kind::String;
+        if (!consume('"')) {
+            ok_ = false;
+            return value;
+        }
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size()) {
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case 'n':
+                    c = '\n';
+                    break;
+                  case 't':
+                    c = '\t';
+                    break;
+                  case 'u':
+                    // \u00xx only (what the exporter emits).
+                    if (pos_ + 4 <= text_.size()) {
+                        c = static_cast<char>(std::strtol(
+                            text_.substr(pos_ + 2, 2).c_str(), nullptr,
+                            16));
+                        pos_ += 4;
+                    }
+                    break;
+                  default:
+                    c = esc;
+                }
+            }
+            value.string += c;
+        }
+        if (!consume('"'))
+            ok_ = false;
+        return value;
+    }
+
+    // By value: callers hand in temporaries (ostringstream::str()).
+    std::string text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Fresh global tracer for each test (shared process-wide state). */
+class TelemetryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Tracer::global().disable();
+        Tracer::global().reset();
+    }
+
+    void
+    TearDown() override
+    {
+        Tracer::global().disable();
+        Tracer::global().setBufferCapacity(1 << 14);
+        Tracer::global().reset();
+    }
+};
+
+/** Export the global tracer and parse the result; asserts validity. */
+JsonValue
+exportAndParse()
+{
+    std::ostringstream out;
+    telemetry::writeChromeTrace(Tracer::global(), out);
+    JsonParser parser(out.str());
+    JsonValue document = parser.parse();
+    EXPECT_TRUE(parser.ok()) << out.str();
+    EXPECT_EQ(document.kind, JsonValue::Kind::Object);
+    return document;
+}
+
+/** All exported events with the given name. */
+std::vector<const JsonValue *>
+eventsNamed(const JsonValue &document, const std::string &name)
+{
+    std::vector<const JsonValue *> out;
+    const JsonValue *events = document.find("traceEvents");
+    if (!events)
+        return out;
+    for (const JsonValue &event : events->items) {
+        const JsonValue *n = event.find("name");
+        if (n && n->string == name)
+            out.push_back(&event);
+    }
+    return out;
+}
+
+TEST_F(TelemetryTest, DisabledTracerRecordsNothing)
+{
+    telemetry::instant("ignored");
+    {
+        telemetry::TraceSpan span("also-ignored");
+    }
+    EXPECT_EQ(Tracer::global().totalEvents(), 0u);
+    EXPECT_EQ(Tracer::global().totalDropped(), 0u);
+}
+
+TEST_F(TelemetryTest, NestedSpansRecordContainedIntervals)
+{
+    Tracer::global().enable();
+    {
+        telemetry::TraceSpan outer("outer", Category::User);
+        {
+            telemetry::TraceSpan inner("inner", Category::User);
+        }
+    }
+    Tracer::global().disable();
+
+    const telemetry::ThreadBuffer &buffer =
+        Tracer::global().currentBuffer();
+    ASSERT_EQ(buffer.size(), 2u);
+    // Spans close innermost-first.
+    const TraceEvent &inner = buffer.event(0);
+    const TraceEvent &outer = buffer.event(1);
+    EXPECT_STREQ(inner.name, "inner");
+    EXPECT_STREQ(outer.name, "outer");
+    EXPECT_EQ(inner.type, TraceEvent::Type::Complete);
+    EXPECT_EQ(outer.type, TraceEvent::Type::Complete);
+    // The inner interval nests inside the outer one.
+    EXPECT_GE(inner.ts_ns, outer.ts_ns);
+    EXPECT_LE(inner.ts_ns + inner.dur_ns, outer.ts_ns + outer.dur_ns);
+    EXPECT_GE(inner.dur_ns, 0);
+    EXPECT_GE(outer.dur_ns, inner.dur_ns);
+}
+
+TEST_F(TelemetryTest, PhaseProfilerMirrorsPhasesAsSpans)
+{
+    Tracer::global().enable();
+    PhaseProfiler profiler;
+    profiler.begin("alpha");
+    profiler.begin("beta");
+    profiler.end();
+    profiler.end();
+    Tracer::global().disable();
+
+    const telemetry::ThreadBuffer &buffer =
+        Tracer::global().currentBuffer();
+    ASSERT_EQ(buffer.size(), 2u);
+    EXPECT_STREQ(buffer.event(0).name, "beta");
+    EXPECT_STREQ(buffer.event(1).name, "alpha");
+    EXPECT_EQ(buffer.event(0).cat, Category::Phase);
+    // Mirrored duration matches the profiler's accumulation exactly:
+    // both come from the same timestamp pair.
+    EXPECT_EQ(buffer.event(0).dur_ns, profiler.phaseNs("beta"));
+    EXPECT_EQ(buffer.event(1).dur_ns, profiler.phaseNs("alpha"));
+}
+
+TEST_F(TelemetryTest, RoiHooksEmitInstantEvents)
+{
+    Tracer::global().enable();
+    {
+        ScopedRoi roi;
+        EXPECT_TRUE(inRoi());
+    }
+    EXPECT_FALSE(inRoi());
+    Tracer::global().disable();
+
+    JsonValue document = exportAndParse();
+    ASSERT_EQ(eventsNamed(document, "roi-begin").size(), 1u);
+    ASSERT_EQ(eventsNamed(document, "roi-end").size(), 1u);
+    const JsonValue *begin = eventsNamed(document, "roi-begin")[0];
+    EXPECT_EQ(begin->find("ph")->string, "i");
+    EXPECT_EQ(begin->find("cat")->string, "roi");
+}
+
+TEST_F(TelemetryTest, OverflowIncrementsDropCounterWithoutCorruption)
+{
+    Tracer::global().setBufferCapacity(8);
+    Tracer::global().enable();
+    for (int i = 0; i < 20; ++i)
+        telemetry::instant("event-" + std::to_string(i));
+    Tracer::global().disable();
+
+    const telemetry::ThreadBuffer &buffer =
+        Tracer::global().currentBuffer();
+    EXPECT_EQ(buffer.size(), 8u);
+    EXPECT_EQ(buffer.dropped(), 12u);
+    // The first 8 events survive untouched; drops never overwrite.
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_STREQ(buffer.event(i).name,
+                     ("event-" + std::to_string(i)).c_str());
+    }
+    // The exported trace stays valid and reports the drops.
+    JsonValue document = exportAndParse();
+    ASSERT_EQ(eventsNamed(document, "dropped_events").size(), 1u);
+    EXPECT_EQ(eventsNamed(document, "dropped_events")[0]
+                  ->find("args")
+                  ->find("value")
+                  ->number,
+              12.0);
+}
+
+TEST_F(TelemetryTest, LongNamesAreTruncatedNotOverflowed)
+{
+    Tracer::global().enable();
+    const std::string long_name(200, 'x');
+    telemetry::instant(long_name);
+    Tracer::global().disable();
+    const telemetry::ThreadBuffer &buffer =
+        Tracer::global().currentBuffer();
+    ASSERT_EQ(buffer.size(), 1u);
+    EXPECT_EQ(std::string(buffer.event(0).name),
+              std::string(TraceEvent::kNameCapacity, 'x'));
+}
+
+TEST_F(TelemetryTest, ExportRoundTripsNamesAndTimestamps)
+{
+    Tracer::global().enable();
+    const std::int64_t t0 = Tracer::global().timeOriginNs();
+    // Deterministic timestamps (ns past the origin): the exported
+    // microsecond strings are exact at nanosecond resolution.
+    telemetry::completeSpan("span \"quoted\"", Category::Phase,
+                            t0 + 1234567, 500);
+    telemetry::completeSpan("span-two", Category::Bench, t0 + 2000000,
+                            1500);
+    telemetry::counterSample("particles", 800.0);
+    Tracer::global().disable();
+
+    JsonValue document = exportAndParse();
+    const JsonValue *events = document.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+
+    auto spans = eventsNamed(document, "span \"quoted\"");
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0]->find("ph")->string, "X");
+    EXPECT_EQ(spans[0]->find("cat")->string, "phase");
+    // ts is µs relative to the origin: 1234567 ns -> 1234.567 µs.
+    EXPECT_DOUBLE_EQ(spans[0]->find("ts")->number, 1234.567);
+    EXPECT_DOUBLE_EQ(spans[0]->find("dur")->number, 0.5);
+
+    auto second = eventsNamed(document, "span-two");
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_DOUBLE_EQ(second[0]->find("ts")->number, 2000.0);
+    EXPECT_DOUBLE_EQ(second[0]->find("dur")->number, 1.5);
+
+    auto counters = eventsNamed(document, "particles");
+    ASSERT_EQ(counters.size(), 1u);
+    EXPECT_EQ(counters[0]->find("ph")->string, "C");
+    EXPECT_DOUBLE_EQ(
+        counters[0]->find("args")->find("value")->number, 800.0);
+
+    // Thread metadata is present for the recording thread.
+    auto metadata = eventsNamed(document, "thread_name");
+    ASSERT_GE(metadata.size(), 1u);
+}
+
+TEST_F(TelemetryTest, ParallelWorkersRegisterNamedBuffers)
+{
+    // Respawning the pool re-registers worker threads by name even
+    // after a tracer reset (worker count change forces a respawn).
+    setParallelThreads(3);
+    parallelFor(0, 64, 1, [](std::size_t) {});
+    // Registration happens at worker-thread entry, which may lag the
+    // region that spawned the pool; poll briefly.
+    bool found = false;
+    for (int attempt = 0; attempt < 200 && !found; ++attempt) {
+        for (const telemetry::ThreadBuffer *buffer :
+             Tracer::global().buffers()) {
+            if (buffer->threadName().rfind("rtr-worker-", 0) == 0)
+                found = true;
+        }
+        if (!found)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(found);
+    setParallelThreads(1);
+}
+
+// ---------------------------------------------------------------------------
+// Hardware counters: must degrade (skip, not fail) wherever
+// perf_event_open is unavailable.
+// ---------------------------------------------------------------------------
+
+TEST(PerfCounters, DeniedSyscallDegradesGracefully)
+{
+    // RTR_NO_PERF forces the unsupported path deterministically (the
+    // same path a denying container takes via EACCES).
+    ::setenv("RTR_NO_PERF", "1", 1);
+    telemetry::PerfCounterGroup group;
+    EXPECT_FALSE(group.open());
+    EXPECT_FALSE(group.supported());
+    EXPECT_FALSE(group.unsupportedReason().empty());
+    // Every method is inert, not fatal.
+    group.reset();
+    group.enable();
+    group.disable();
+    telemetry::PerfSample sample = group.read();
+    for (std::size_t i = 0; i < telemetry::kPerfCounterCount; ++i)
+        EXPECT_FALSE(
+            sample.has(static_cast<telemetry::PerfCounter>(i)));
+    EXPECT_FALSE(sample.ipc().has_value());
+    EXPECT_FALSE(sample.l1dMissRatio().has_value());
+    EXPECT_FALSE(
+        sample.mpki(telemetry::PerfCounter::LlcMisses).has_value());
+    // ROI arming with an unsupported group is a no-op, not a crash.
+    telemetry::armRoiCounters(&group);
+    {
+        ScopedRoi roi;
+    }
+    telemetry::armRoiCounters(nullptr);
+    ::unsetenv("RTR_NO_PERF");
+}
+
+TEST(PerfCounters, CountsRoiWorkWhereSupported)
+{
+    telemetry::PerfCounterGroup group;
+    if (!group.open())
+        GTEST_SKIP() << "perf_event_open unavailable: "
+                     << group.unsupportedReason();
+
+    telemetry::armRoiCounters(&group);
+    double sink = 0.0;
+    {
+        ScopedRoi roi;
+        for (int i = 0; i < 2000000; ++i)
+            sink += static_cast<double>(i) * 1e-9;
+    }
+    telemetry::armRoiCounters(nullptr);
+    EXPECT_GT(sink, 0.0);
+
+    telemetry::PerfSample sample = group.read();
+    ASSERT_TRUE(sample.has(telemetry::PerfCounter::Cycles));
+    EXPECT_GT(sample.get(telemetry::PerfCounter::Cycles), 0.0);
+    if (sample.has(telemetry::PerfCounter::Instructions)) {
+        // The loop retires well over a million instructions.
+        EXPECT_GT(sample.get(telemetry::PerfCounter::Instructions),
+                  1e6);
+        ASSERT_TRUE(sample.ipc().has_value());
+        EXPECT_GT(*sample.ipc(), 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness satellites: strict warmup parsing and the shared JsonWriter.
+// ---------------------------------------------------------------------------
+
+TEST(WarmupRuns, StrictParsingFallsBackToDefault)
+{
+    ::unsetenv("RTR_BENCH_WARMUP");
+    EXPECT_EQ(bench::warmupRuns(), 1);
+
+    ::setenv("RTR_BENCH_WARMUP", "0", 1);
+    EXPECT_EQ(bench::warmupRuns(), 0);
+    ::setenv("RTR_BENCH_WARMUP", "3", 1);
+    EXPECT_EQ(bench::warmupRuns(), 3);
+
+    // Garbage must not silently disable warmup (atoi would return 0).
+    ::setenv("RTR_BENCH_WARMUP", "abc", 1);
+    EXPECT_EQ(bench::warmupRuns(), 1);
+    ::setenv("RTR_BENCH_WARMUP", "2x", 1);
+    EXPECT_EQ(bench::warmupRuns(), 1);
+    ::setenv("RTR_BENCH_WARMUP", "", 1);
+    EXPECT_EQ(bench::warmupRuns(), 1);
+    ::setenv("RTR_BENCH_WARMUP", "-4", 1);
+    EXPECT_EQ(bench::warmupRuns(), 1);
+    ::setenv("RTR_BENCH_WARMUP", "99999999999999999999", 1);
+    EXPECT_EQ(bench::warmupRuns(), 1);
+
+    ::unsetenv("RTR_BENCH_WARMUP");
+}
+
+TEST(JsonWriter, EmitsParseableNestedDocument)
+{
+    std::ostringstream out;
+    bench::JsonWriter json(out);
+    json.beginObject();
+    json.field("name", "bench \"quoted\"");
+    json.field("count", 42);
+    json.field("ratio", 0.25);
+    json.field("bad", std::numeric_limits<double>::quiet_NaN());
+    json.field("ok", true);
+    json.beginObject("nested");
+    json.field("inner", 1.5);
+    json.endObject();
+    json.beginArray("rows");
+    json.beginObject();
+    json.field("kernel", "pfl");
+    json.endObject();
+    json.beginObject();
+    json.field("kernel", "mpc");
+    json.endObject();
+    json.endArray();
+    json.beginArray("empty");
+    json.endArray();
+    json.endObject();
+
+    JsonParser parser(out.str());
+    JsonValue document = parser.parse();
+    ASSERT_TRUE(parser.ok()) << out.str();
+    EXPECT_EQ(document.find("name")->string, "bench \"quoted\"");
+    EXPECT_DOUBLE_EQ(document.find("count")->number, 42.0);
+    EXPECT_DOUBLE_EQ(document.find("ratio")->number, 0.25);
+    EXPECT_EQ(document.find("bad")->kind, JsonValue::Kind::Null);
+    EXPECT_TRUE(document.find("ok")->boolean);
+    EXPECT_DOUBLE_EQ(document.find("nested")->find("inner")->number,
+                     1.5);
+    ASSERT_EQ(document.find("rows")->items.size(), 2u);
+    EXPECT_EQ(document.find("rows")->items[1].find("kernel")->string,
+              "mpc");
+    EXPECT_EQ(document.find("empty")->items.size(), 0u);
+}
+
+} // namespace
+} // namespace rtr
