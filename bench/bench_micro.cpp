@@ -28,6 +28,7 @@
 #include "symbolic/blocks_world.h"
 #include "symbolic/planner.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -144,6 +145,112 @@ BM_MatrixMultiply(benchmark::State &state)
         benchmark::DoNotOptimize(a * b);
 }
 BENCHMARK(BM_MatrixMultiply)->Arg(8)->Arg(15)->Arg(31);
+
+/**
+ * The seed's matmul inner loop with its `lhs == 0.0` skip, kept here
+ * (and only here) after its removal from Matrix::operator* so
+ * EXPERIMENTS.md can keep quoting a measured before/after for the
+ * branch. On the dense random operands every kernel actually feeds the
+ * multiply, the branch never fires and only costs the compare.
+ */
+void
+BM_MatrixMultiplyZeroSkip(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    Matrix a(n, n), b(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            a(r, c) = rng.uniform(-1, 1);
+            b(r, c) = rng.uniform(-1, 1);
+        }
+    }
+    for (auto _ : state) {
+        Matrix out(n, n);
+        const double *ap = a.data();
+        const double *bp = b.data();
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t k = 0; k < n; ++k) {
+                double lhs = ap[i * n + k];
+                if (lhs == 0.0)
+                    continue;
+                const double *rhs_row = bp + k * n;
+                double *out_row = out.data() + i * n;
+                for (std::size_t j = 0; j < n; ++j)
+                    out_row[j] += lhs * rhs_row[j];
+            }
+        }
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_MatrixMultiplyZeroSkip)->Arg(8)->Arg(15)->Arg(31);
+
+void
+matrixMultiplyFlagged(benchmark::State &state, bool simd)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    Matrix a(n, n), b(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            a(r, c) = rng.uniform(-1, 1);
+            b(r, c) = rng.uniform(-1, 1);
+        }
+    }
+    ScopedSimdKernels flag(simd);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a * b);
+}
+
+void
+BM_GemmScalar(benchmark::State &state)
+{
+    matrixMultiplyFlagged(state, false);
+}
+BENCHMARK(BM_GemmScalar)->Arg(8)->Arg(15)->Arg(35)->Arg(96);
+
+void
+BM_GemmSimd(benchmark::State &state)
+{
+    matrixMultiplyFlagged(state, true);
+}
+BENCHMARK(BM_GemmSimd)->Arg(8)->Arg(15)->Arg(35)->Arg(96);
+
+void
+choleskyFlagged(benchmark::State &state, bool simd)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(6);
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            a(r, c) = rng.uniform(-1, 1);
+    Matrix spd = multiplyTransposed(a, a);
+    for (std::size_t i = 0; i < n; ++i)
+        spd(i, i) += static_cast<double>(n);
+    Matrix rhs(n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+        rhs(i, 0) = rng.uniform(-1, 1);
+    ScopedSimdKernels flag(simd);
+    for (auto _ : state) {
+        CholeskyDecomposition chol(spd);
+        benchmark::DoNotOptimize(chol.solve(rhs));
+    }
+}
+
+void
+BM_CholeskyScalar(benchmark::State &state)
+{
+    choleskyFlagged(state, false);
+}
+BENCHMARK(BM_CholeskyScalar)->Arg(8)->Arg(16)->Arg(50);
+
+void
+BM_CholeskySimd(benchmark::State &state)
+{
+    choleskyFlagged(state, true);
+}
+BENCHMARK(BM_CholeskySimd)->Arg(8)->Arg(16)->Arg(50);
 
 void
 BM_MatrixInverse(benchmark::State &state)
@@ -357,13 +464,215 @@ writeRaycastBaseline(const std::string &path)
     return identical ? 0 : 2;
 }
 
+/** Fill a matrix with uniform(-1, 1) draws. */
+void
+fillRandom(Matrix &m, Rng &rng)
+{
+    for (std::size_t i = 0; i < m.rows() * m.cols(); ++i)
+        m.data()[i] = rng.uniform(-1, 1);
+}
+
+/** Best-of-@p reps seconds for one call of @p body, after one warmup. */
+template <typename F>
+double
+bestOf(int reps, F &&body)
+{
+    body();
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        Stopwatch timer;
+        body();
+        best = std::min(best, timer.elapsedSec());
+    }
+    return best;
+}
+
+/**
+ * --json mode, dense-linalg block: time the GEMM and Cholesky
+ * micro-kernels scalar vs SIMD across the EKF/GP-relevant size range,
+ * assert bitwise identity at every size, rerun the two matrix-bound
+ * kernels end-to-end under --simd 0/1, and write BENCH_gemm.json so
+ * future PRs can track GFLOP/s and kernel ROI seconds. Returns nonzero
+ * if any scalar/SIMD pair differs bitwise.
+ */
+int
+writeGemmBaseline(const std::string &path)
+{
+    const int reps = 5;
+    Rng rng(11);
+    bool all_identical = true;
+
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << "cannot write " << path << "\n";
+        return 1;
+    }
+    rtr::bench::JsonWriter json(file);
+    json.beginObject();
+    json.field("benchmark", "dense_linalg");
+    json.field("simd_backend", simd::kBackendName);
+    json.field("vector_width",
+               static_cast<long long>(simd::VecD::kWidth));
+
+    std::cout << "dense-linalg baseline (backend " << simd::kBackendName
+              << ", width " << simd::VecD::kWidth << "):\n";
+
+    // GEMM sweep. 8..35 bracket the EKF state sizes (n = 3 + 2L for
+    // 4..16 landmarks); 50 is the GP's largest Gram matrix; 64/96 show
+    // where the micro-kernel is heading asymptotically.
+    json.beginArray("gemm");
+    for (std::size_t n : {8u, 11u, 15u, 23u, 35u, 50u, 64u, 96u}) {
+        Matrix a(n, n), b(n, n);
+        fillRandom(a, rng);
+        fillRandom(b, rng);
+        // Enough multiplies per rep to dwarf timer granularity.
+        const int iters = static_cast<int>(
+            std::max<std::size_t>(1, 3000000 / (n * n * n)));
+        Matrix out;
+        double scalar_sec, simd_sec;
+        {
+            ScopedSimdKernels off(false);
+            scalar_sec = bestOf(reps, [&] {
+                for (int i = 0; i < iters; ++i)
+                    out = a * b;
+            }) / iters;
+        }
+        const Matrix scalar_out = out;
+        {
+            ScopedSimdKernels on(true);
+            simd_sec = bestOf(reps, [&] {
+                for (int i = 0; i < iters; ++i)
+                    out = a * b;
+            }) / iters;
+        }
+        const bool identical =
+            std::memcmp(scalar_out.data(), out.data(),
+                        sizeof(double) * n * n) == 0;
+        all_identical = all_identical && identical;
+        const double flops = 2.0 * static_cast<double>(n) * n * n;
+        json.beginObject();
+        json.field("n", static_cast<long long>(n));
+        json.field("scalar_ns", scalar_sec * 1e9);
+        json.field("simd_ns", simd_sec * 1e9);
+        json.field("scalar_gflops", flops / scalar_sec * 1e-9);
+        json.field("simd_gflops", flops / simd_sec * 1e-9);
+        json.field("speedup", scalar_sec / simd_sec);
+        json.field("bitwise_identical", identical);
+        json.endObject();
+        std::cout << "  gemm n=" << n << ": " << scalar_sec * 1e9
+                  << " -> " << simd_sec * 1e9 << " ns ("
+                  << flops / simd_sec * 1e-9 << " GFLOP/s, "
+                  << scalar_sec / simd_sec << "x, bitwise "
+                  << (identical ? "yes" : "NO") << ")\n";
+    }
+    json.endArray();
+
+    // Cholesky sweep: factor + single-RHS solve (the GP predict shape).
+    json.beginArray("cholesky");
+    for (std::size_t n : {8u, 16u, 35u, 50u, 96u}) {
+        Matrix g(n, n);
+        fillRandom(g, rng);
+        Matrix spd = multiplyTransposed(g, g);
+        for (std::size_t i = 0; i < n; ++i)
+            spd(i, i) += static_cast<double>(n);
+        Matrix rhs(n, 1);
+        fillRandom(rhs, rng);
+        const int iters = static_cast<int>(
+            std::max<std::size_t>(1, 1000000 / (n * n * n)));
+        Matrix x;
+        double scalar_sec, simd_sec;
+        Matrix scalar_l, scalar_x;
+        {
+            ScopedSimdKernels off(false);
+            scalar_sec = bestOf(reps, [&] {
+                for (int i = 0; i < iters; ++i) {
+                    CholeskyDecomposition chol(spd);
+                    chol.solveInto(rhs, x);
+                }
+            }) / iters;
+            scalar_l = CholeskyDecomposition(spd).lower();
+            scalar_x = x;
+        }
+        {
+            ScopedSimdKernels on(true);
+            simd_sec = bestOf(reps, [&] {
+                for (int i = 0; i < iters; ++i) {
+                    CholeskyDecomposition chol(spd);
+                    chol.solveInto(rhs, x);
+                }
+            }) / iters;
+        }
+        const Matrix simd_l = CholeskyDecomposition(spd).lower();
+        const bool identical =
+            std::memcmp(scalar_l.data(), simd_l.data(),
+                        sizeof(double) * n * n) == 0 &&
+            std::memcmp(scalar_x.data(), x.data(),
+                        sizeof(double) * n) == 0;
+        all_identical = all_identical && identical;
+        json.beginObject();
+        json.field("n", static_cast<long long>(n));
+        json.field("scalar_ns", scalar_sec * 1e9);
+        json.field("simd_ns", simd_sec * 1e9);
+        json.field("speedup", scalar_sec / simd_sec);
+        json.field("bitwise_identical", identical);
+        json.endObject();
+        std::cout << "  chol n=" << n << ": " << scalar_sec * 1e9
+                  << " -> " << simd_sec * 1e9 << " ns ("
+                  << scalar_sec / simd_sec << "x, bitwise "
+                  << (identical ? "yes" : "NO") << ")\n";
+    }
+    json.endArray();
+
+    // End-to-end: the two kernels whose ROI is ~entirely dense linalg.
+    // bo runs with 5000 candidates (vs the default 25000) to keep the
+    // baseline pass quick; acquisition still dominates its ROI.
+    struct E2E
+    {
+        const char *kernel;
+        std::vector<std::string> overrides;
+    };
+    const E2E runs[] = {
+        {"ekfslam", {"--landmarks", "16", "--steps", "400"}},
+        {"bo", {"--iterations", "45", "--candidates", "5000"}},
+    };
+    json.beginArray("end_to_end");
+    for (const E2E &run : runs) {
+        std::vector<std::string> scalar_args = run.overrides;
+        scalar_args.insert(scalar_args.end(), {"--simd", "0"});
+        std::vector<std::string> simd_args = run.overrides;
+        simd_args.insert(simd_args.end(), {"--simd", "1"});
+        const KernelReport scalar_report =
+            rtr::bench::runKernelWarm(run.kernel, scalar_args);
+        const KernelReport simd_report =
+            rtr::bench::runKernelWarm(run.kernel, simd_args);
+        json.beginObject();
+        json.field("kernel", run.kernel);
+        json.field("scalar_roi_seconds", scalar_report.roi_seconds);
+        json.field("simd_roi_seconds", simd_report.roi_seconds);
+        json.field("speedup",
+                   scalar_report.roi_seconds / simd_report.roi_seconds);
+        json.endObject();
+        std::cout << "  " << run.kernel << ": "
+                  << scalar_report.roi_seconds << " -> "
+                  << simd_report.roi_seconds << " s ROI ("
+                  << scalar_report.roi_seconds / simd_report.roi_seconds
+                  << "x)\n";
+    }
+    json.endArray();
+    json.field("bitwise_identical", all_identical);
+    json.endObject();
+    std::cout << "  wrote " << path << "\n";
+    return all_identical ? 0 : 2;
+}
+
 } // namespace
 
 /**
- * Custom main: `bench_micro --json [path]` emits the ray-cast baseline
- * (default BENCH_raycast.json) and exits; anything else is handed to
- * google-benchmark unchanged (after the shared harness strips
- * --trace/--counters).
+ * Custom main: `bench_micro --json [raycast_path [gemm_path]]` emits
+ * the ray-cast baseline (default BENCH_raycast.json) and the dense-
+ * linalg baseline (default BENCH_gemm.json) and exits; anything else
+ * is handed to google-benchmark unchanged (after the shared harness
+ * strips --trace/--counters).
  */
 int
 main(int argc, char **argv)
@@ -371,10 +680,16 @@ main(int argc, char **argv)
     rtr::bench::Harness harness(argc, argv);
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
-            std::string path = "BENCH_raycast.json";
-            if (i + 1 < argc && argv[i + 1][0] != '-')
-                path = argv[i + 1];
-            return writeRaycastBaseline(path);
+            std::string raycast_path = "BENCH_raycast.json";
+            std::string gemm_path = "BENCH_gemm.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                raycast_path = argv[i + 1];
+                if (i + 2 < argc && argv[i + 2][0] != '-')
+                    gemm_path = argv[i + 2];
+            }
+            const int raycast_rc = writeRaycastBaseline(raycast_path);
+            const int gemm_rc = writeGemmBaseline(gemm_path);
+            return raycast_rc ? raycast_rc : gemm_rc;
         }
     }
     benchmark::Initialize(&argc, argv);

@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
 # Local CI: build + ctest across the sanitizer matrix.
 #
-#   scripts/check.sh              # release + asan + ubsan + tsan
+#   scripts/check.sh              # release + asan + ubsan + tsan + scalar
 #   scripts/check.sh release asan # just those variants
 #
 # Each variant uses its own build tree (build-check-<variant>) so the
 # trees stay warm across runs. TSan runs the thread-focused suites
 # (Parallel/Telemetry) — the full suite under TSan is slow and the
-# remaining tests are single-threaded by construction.
+# remaining tests are single-threaded by construction. The scalar
+# variant builds with -DRTR_FORCE_SCALAR_SIMD=ON so the portable
+# fallback of rtr::simd::VecD (the code path non-x86/ARM hosts compile)
+# stays green.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 variants=("$@")
 if [ ${#variants[@]} -eq 0 ]; then
-    variants=(release asan ubsan tsan)
+    variants=(release asan ubsan tsan scalar)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -29,6 +32,7 @@ for variant in "${variants[@]}"; do
       ubsan) cmake_args+=(-DRTR_UBSAN=ON) ;;
       tsan)  cmake_args+=(-DRTR_TSAN=ON)
              test_args+=(-R 'Parallel|Telemetry') ;;
+      scalar) cmake_args+=(-DRTR_FORCE_SCALAR_SIMD=ON) ;;
       *) echo "unknown variant '${variant}'" >&2; exit 2 ;;
     esac
 

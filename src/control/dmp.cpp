@@ -4,8 +4,28 @@
 
 #include "geom/angle.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace rtr {
+
+namespace {
+
+/** out[t] = (in[t+1] - in[t-1]) / denom for t in [1, n-2], SIMD. */
+inline void
+centralDifference(double *out, const double *in, std::size_t n,
+                  double denom)
+{
+    using simd::VecD;
+    const VecD vd = VecD::broadcast(denom);
+    std::size_t t = 1;
+    for (; t + VecD::kWidth <= n - 1; t += VecD::kWidth)
+        ((VecD::load(in + t + 1) - VecD::load(in + t - 1)) / vd)
+            .store(out + t);
+    for (; t + 1 < n; ++t)
+        out[t] = (in[t + 1] - in[t - 1]) / denom;
+}
+
+} // namespace
 
 Dmp1D::Dmp1D(const DmpConfig &config) : config_(config)
 {
@@ -46,14 +66,13 @@ Dmp1D::fit(const std::vector<double> &demo, double dt,
     if (std::abs(scale) < 1e-9)
         scale = 1e-9;
 
-    // Finite-difference velocity/acceleration of the demonstration.
+    // Finite-difference velocity/acceleration of the demonstration
+    // (SIMD central differences over the interior samples).
     std::vector<double> vel(n, 0.0), acc(n, 0.0);
-    for (std::size_t t = 1; t + 1 < n; ++t)
-        vel[t] = (demo[t + 1] - demo[t - 1]) / (2.0 * dt);
+    centralDifference(vel.data(), demo.data(), n, 2.0 * dt);
     vel[0] = (demo[1] - demo[0]) / dt;
     vel[n - 1] = (demo[n - 1] - demo[n - 2]) / dt;
-    for (std::size_t t = 1; t + 1 < n; ++t)
-        acc[t] = (vel[t + 1] - vel[t - 1]) / (2.0 * dt);
+    centralDifference(acc.data(), vel.data(), n, 2.0 * dt);
 
     // Target forcing term from inverting the transformation system:
     //   tau^2 ydd = K (g - y) - D tau yd + (g - y0) f(x)

@@ -64,20 +64,28 @@ GaussianProcess::predict(const std::vector<double> &query) const
     RTR_ASSERT(trained(), "predict before fit");
     const std::size_t n = inputs_.size();
 
-    Matrix k_star(n, 1);
+    // The BO acquisition loop calls predict() ~10^6 times per run; the
+    // k* vector and the solve output live in thread-local workspaces so
+    // the hot path performs no heap allocation after warm-up.
+    thread_local Matrix k_star;
+    thread_local Matrix v;
+    k_star.resize(n, 1);
+    const double *alpha = alpha_.data();
+    double *ks = k_star.data();
     for (std::size_t i = 0; i < n; ++i)
-        k_star(i, 0) = kernel(inputs_[i], query);
+        ks[i] = kernel(inputs_[i], query);
 
     GpPrediction out;
     out.mean = target_mean_;
     for (std::size_t i = 0; i < n; ++i)
-        out.mean += k_star(i, 0) * alpha_(i, 0);
+        out.mean += ks[i] * alpha[i];
 
     // Predictive variance: k(x,x) - k*^T K^-1 k*.
-    Matrix v = chol_.solve(k_star);
+    chol_.solveInto(k_star, v);
+    const double *vp = v.data();
     double reduction = 0.0;
     for (std::size_t i = 0; i < n; ++i)
-        reduction += k_star(i, 0) * v(i, 0);
+        reduction += ks[i] * vp[i];
     out.variance = std::max(0.0, kernel(query, query) - reduction);
     return out;
 }

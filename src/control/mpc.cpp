@@ -6,8 +6,40 @@
 #include "geom/angle.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
 namespace rtr {
+
+namespace {
+
+/**
+ * trial[k] = clamp(base[k] - step * grad[k] / norm, lo, hi) — the
+ * normalized-descent trial step fused with the box projection, SIMD
+ * across the horizon. Runs once per backtracking probe.
+ */
+inline void
+descendClamped(double *trial, const double *base, const double *grad,
+               double step, double norm, double lo, double hi,
+               std::size_t n)
+{
+    using simd::VecD;
+    const VecD vstep = VecD::broadcast(step);
+    const VecD vnorm = VecD::broadcast(norm);
+    const VecD vlo = VecD::broadcast(lo);
+    const VecD vhi = VecD::broadcast(hi);
+    std::size_t k = 0;
+    for (; k + VecD::kWidth <= n; k += VecD::kWidth) {
+        const VecD t = VecD::load(base + k) -
+                       vstep * VecD::load(grad + k) / vnorm;
+        VecD::min(VecD::max(t, vlo), vhi).store(trial + k);
+    }
+    for (; k < n; ++k) {
+        double t = base[k] - step * grad[k] / norm;
+        trial[k] = std::clamp(t, lo, hi);
+    }
+}
+
+} // namespace
 
 MpcController::MpcController(const MpcConfig &config) : config_(config)
 {
@@ -140,13 +172,12 @@ MpcController::solve(const UnicycleState &current,
         double grad_norm = std::sqrt(grad_norm2);
         bool improved = false;
         for (int backtrack = 0; backtrack < 12; ++backtrack) {
-            for (std::size_t k = 0; k < h; ++k) {
-                trial_v[k] =
-                    solution.v[k] - step * grad_v[k] / grad_norm;
-                trial_omega[k] =
-                    solution.omega[k] - step * grad_omega[k] / grad_norm;
-            }
-            project(trial_v, trial_omega);
+            descendClamped(trial_v.data(), solution.v.data(),
+                           grad_v.data(), step, grad_norm, 0.0,
+                           config_.v_max, h);
+            descendClamped(trial_omega.data(), solution.omega.data(),
+                           grad_omega.data(), step, grad_norm,
+                           -config_.omega_max, config_.omega_max, h);
             double trial_cost =
                 rolloutCost(current, reference, trial_v, trial_omega);
             ++solution.cost_evals;

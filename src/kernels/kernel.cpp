@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "linalg/matrix.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -22,6 +23,20 @@ applyThreadsOption(const ArgParser &args)
     if (n < 0)
         fatal("--threads must be >= 0");
     setParallelThreads(static_cast<std::size_t>(n));
+}
+
+void
+addSimdOption(ArgParser &parser)
+{
+    parser.addOption("simd", "1",
+                     "Dense-linalg kernels: 1 = SIMD micro-kernels, "
+                     "0 = scalar reference (bitwise-identical results)");
+}
+
+void
+applySimdOption(const ArgParser &args)
+{
+    setSimdKernelsEnabled(args.getInt("simd") != 0);
 }
 
 void

@@ -43,6 +43,18 @@ void addThreadsOption(ArgParser &parser);
 /** Apply a parsed --threads value to the parallel runtime. */
 void applyThreadsOption(const ArgParser &args);
 
+/**
+ * Register the standard --simd option shared by the dense-linalg-bound
+ * kernels (ekfslam, bo, srec): 1 = SIMD micro-kernels (the default),
+ * 0 = the preserved scalar reference paths. The two are bitwise
+ * identical for GEMM/factorization (DESIGN.md "Dense linear algebra");
+ * the switch exists for scalar/SIMD A/B timing on one binary.
+ */
+void addSimdOption(ArgParser &parser);
+
+/** Apply a parsed --simd value to the linalg dispatch flag. */
+void applySimdOption(const ArgParser &args);
+
 /** Result of one kernel run. */
 struct KernelReport
 {

@@ -16,12 +16,14 @@ BoKernel::addOptions(ArgParser &parser) const
     parser.addOption("kappa", "2.0", "UCB exploration weight");
     parser.addOption("goal", "5.0", "Throw goal distance (m)");
     parser.addOption("seed", "1", "Random seed");
+    addSimdOption(parser);
 }
 
 KernelReport
 BoKernel::run(const ArgParser &args) const
 {
     KernelReport report;
+    applySimdOption(args);
     BallThrowEnv env(args.getDouble("goal"));
 
     BoConfig config;

@@ -19,6 +19,7 @@ SrecKernel::addOptions(ArgParser &parser) const
     parser.addOption("icp-iterations", "25", "Max ICP iterations/frame");
     parser.addOption("seed", "1", "Random seed");
     addThreadsOption(parser);
+    addSimdOption(parser);
 }
 
 KernelReport
@@ -26,6 +27,7 @@ SrecKernel::run(const ArgParser &args) const
 {
     KernelReport report;
     applyThreadsOption(args);
+    applySimdOption(args);
     const int frames = static_cast<int>(args.getInt("frames"));
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed"));
 

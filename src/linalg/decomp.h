@@ -49,6 +49,15 @@ class LuDecomposition
 /**
  * Cholesky decomposition (A = L L^T) of a symmetric positive-definite
  * matrix. Used by the Gaussian-process substrate of the BO kernel.
+ *
+ * The factorization and both substitution passes have SIMD and scalar
+ * implementations selected at runtime by simdKernelsEnabled(); the two
+ * are bitwise identical by contract (see DESIGN.md "Dense linear
+ * algebra"). Both substitution passes are right-looking so they
+ * vectorize for single-column right-hand sides; the backward pass
+ * therefore accumulates its per-element terms in descending k order,
+ * which differs from the historical ascending order by ordinary
+ * floating-point rounding only.
  */
 class CholeskyDecomposition
 {
@@ -65,12 +74,22 @@ class CholeskyDecomposition
     /** Solve A x = b via forward/backward substitution. */
     Matrix solve(const Matrix &b) const;
 
+    /**
+     * solve() into a caller-owned output (capacity reuse for per-call
+     * hot paths such as GP predict). x may be the same object as b.
+     */
+    void solveInto(const Matrix &b, Matrix &x) const;
+
     /** log(det(A)) computed stably from the factor. */
     double logDeterminant() const;
 
   private:
+    void factorScalar(const Matrix &a);
+    void factorSimd(const Matrix &a);
+
     std::size_t n_;
     Matrix l_;
+    Matrix lt_; // Lᵀ, kept for contiguous single-RHS forward solves
     bool failed_ = false;
 };
 

@@ -5,8 +5,42 @@
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace rtr {
+
+namespace {
+
+/**
+ * Plane rotation of two contiguous rows: x'[k] = c*x[k] - s*y[k],
+ * y'[k] = s*x[k] + c*y[k]. Per-element arithmetic is unchanged from
+ * the scalar loop (two multiplies and an add/sub per output), so the
+ * vectorized form is bitwise identical to it.
+ */
+inline void
+rotateRows(double *x, double *y, double c, double s, std::size_t n,
+           bool use_simd)
+{
+    using simd::VecD;
+    std::size_t k = 0;
+    if (use_simd) {
+        const VecD vc = VecD::broadcast(c);
+        const VecD vs = VecD::broadcast(s);
+        for (; k + VecD::kWidth <= n; k += VecD::kWidth) {
+            const VecD xv = VecD::load(x + k);
+            const VecD yv = VecD::load(y + k);
+            (vc * xv - vs * yv).store(x + k);
+            (vs * xv + vc * yv).store(y + k);
+        }
+    }
+    for (; k < n; ++k) {
+        const double xk = x[k], yk = y[k];
+        x[k] = c * xk - s * yk;
+        y[k] = s * xk + c * yk;
+    }
+}
+
+} // namespace
 
 SymmetricEigen
 symmetricEigen(const Matrix &input, int max_sweeps)
@@ -43,11 +77,11 @@ symmetricEigen(const Matrix &input, int max_sweeps)
                     a(k, p) = c * akp - s * akq;
                     a(k, q) = s * akp + c * akq;
                 }
-                for (std::size_t k = 0; k < n; ++k) {
-                    double apk = a(p, k), aqk = a(q, k);
-                    a(p, k) = c * apk - s * aqk;
-                    a(q, k) = s * apk + c * aqk;
-                }
+                // Rows p and q are contiguous; the column updates above
+                // and the eigenvector update below are strided and stay
+                // scalar.
+                rotateRows(a.data() + p * n, a.data() + q * n, c, s, n,
+                           simdKernelsEnabled());
                 for (std::size_t k = 0; k < n; ++k) {
                     double vkp = v(k, p), vkq = v(k, q);
                     v(k, p) = c * vkp - s * vkq;

@@ -47,6 +47,13 @@ class Matrix
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
 
+    /**
+     * Reshape to rows x cols and zero-fill. Reuses the existing heap
+     * allocation when capacity suffices — this is the workspace-reuse
+     * primitive behind the no-temporary entry points below.
+     */
+    void resize(std::size_t rows, std::size_t cols);
+
     /** Element access (row, col); bounds-checked in debug builds. */
     double &operator()(std::size_t r, std::size_t c);
     double operator()(std::size_t r, std::size_t c) const;
@@ -62,6 +69,14 @@ class Matrix
     Matrix &operator+=(const Matrix &o);
     Matrix &operator-=(const Matrix &o);
     Matrix &operator*=(double s);
+
+    /**
+     * Matrix product through the preserved scalar reference path (the
+     * plain i-k-j triple loop), regardless of the runtime SIMD-dispatch
+     * flag. The SIMD path of operator* is bitwise identical to this by
+     * contract; tests/test_linalg_simd.cpp cross-checks the two.
+     */
+    Matrix multiplyScalar(const Matrix &o) const;
 
     /** Transposed copy. */
     Matrix transposed() const;
@@ -96,6 +111,72 @@ class Matrix
 
 /** Scalar-on-the-left multiplication. */
 Matrix operator*(double s, const Matrix &m);
+
+/**
+ * Runtime dispatch between the SIMD micro-kernels and the preserved
+ * scalar reference paths for everything in linalg (GEMM family,
+ * Cholesky/LU factor + solve). Defaults to enabled; set the environment
+ * variable RTR_LINALG_SCALAR (any value) to start disabled. The two
+ * paths are bitwise identical by contract, so flipping this mid-run
+ * changes performance, never results. Not thread-safe: set it before
+ * entering parallel regions.
+ */
+bool simdKernelsEnabled();
+void setSimdKernelsEnabled(bool enabled);
+
+/** RAII toggle for simdKernelsEnabled (tests, scalar/SIMD A/B runs). */
+class ScopedSimdKernels
+{
+  public:
+    explicit ScopedSimdKernels(bool enabled) : prev_(simdKernelsEnabled())
+    {
+        setSimdKernelsEnabled(enabled);
+    }
+    ~ScopedSimdKernels() { setSimdKernelsEnabled(prev_); }
+    ScopedSimdKernels(const ScopedSimdKernels &) = delete;
+    ScopedSimdKernels &operator=(const ScopedSimdKernels &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/**
+ * Fused no-temporary entry points. All of them trap (RTR_ASSERT, which
+ * is active in release builds) when an output matrix aliases an input —
+ * the blocked kernels would silently corrupt otherwise.
+ *
+ * gemm: C = alpha*A*B + beta*C. With beta == 0, C is never read (so it
+ * may hold NaN/garbage) and is reshaped to A.rows x B.cols; otherwise
+ * its shape must already match.
+ */
+void gemm(const Matrix &a, const Matrix &b, Matrix &c, double alpha,
+          double beta);
+
+/**
+ * out = A * Bᵀ without materialising the transpose. A is m x k, B is
+ * n x k, out becomes m x n. Bitwise identical to
+ * a.multiplyScalar(b.transposed()).
+ */
+void multiplyTransposed(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** Convenience allocating form of the above. */
+Matrix multiplyTransposed(const Matrix &a, const Matrix &b);
+
+/**
+ * out = H * P * Hᵀ (the EKF innovation-covariance sandwich) with the
+ * intermediate H*P kept in the caller-provided workspace `work` — no
+ * hidden allocations once the workspaces have grown to size. H is
+ * m x n, P is n x n, out becomes m x m and work m x n.
+ */
+void symmetricSandwich(const Matrix &h, const Matrix &p, Matrix &out,
+                       Matrix &work);
+
+/**
+ * Rank-1 update C += alpha * x * yᵀ for column vectors x (m x 1) and
+ * y (n x 1); C must be m x n.
+ */
+void addScaledOuter(Matrix &c, double alpha, const Matrix &x,
+                    const Matrix &y);
 
 } // namespace rtr
 

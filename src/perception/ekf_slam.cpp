@@ -33,21 +33,29 @@ EkfSlam::predict(double v, double omega, double dt, PhaseProfiler *profiler)
     mu_(1, 0) += dy;
     mu_(2, 0) = normalizeAngle(mu_(2, 0) + omega * dt);
 
-    // Jacobian of the motion w.r.t. the full state (identity except the
-    // pose block).
-    Matrix g = Matrix::identity(n);
-    g(0, 2) = -v * dt * std::sin(theta);
-    g(1, 2) = v * dt * std::cos(theta);
+    // The motion Jacobian is G = I + g02·e0e2ᵀ + g12·e1e2ᵀ, so
+    // Σ ← G Σ Gᵀ reduces to two row updates followed by two column
+    // updates — O(n) in place of the seed's two dense n³ products.
+    // (The old zero-skip branch in operator* exploited G's sparsity
+    // implicitly; this exploits its *structure* explicitly.)
+    const double g02 = -v * dt * std::sin(theta);
+    const double g12 = v * dt * std::cos(theta);
+    double *s = sigma_.data();
+    for (std::size_t j = 0; j < n; ++j) {
+        s[0 * n + j] += g02 * s[2 * n + j];
+        s[1 * n + j] += g12 * s[2 * n + j];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        s[i * n + 0] += g02 * s[i * n + 2];
+        s[i * n + 1] += g12 * s[i * n + 2];
+    }
 
-    // Process noise mapped into the pose block.
-    Matrix r(n, n);
+    // Process noise on the pose block.
     double sv = noise_.velocity * std::abs(v) * dt + 1e-4;
     double sw = noise_.omega * std::abs(omega) * dt + 1e-4;
-    r(0, 0) = sv * sv;
-    r(1, 1) = sv * sv;
-    r(2, 2) = sw * sw;
-
-    sigma_ = g * sigma_ * g.transposed() + r;
+    s[0 * n + 0] += sv * sv;
+    s[1 * n + 1] += sv * sv;
+    s[2 * n + 2] += sw * sw;
 }
 
 void
@@ -104,33 +112,40 @@ EkfSlam::update(const std::vector<RangeBearing> &observations,
         double expected_bearing =
             normalizeAngle(std::atan2(dy, dx) - mu_(2, 0));
 
-        Matrix h(2, n);
-        h(0, 0) = -dx / sqrt_q;
-        h(0, 1) = -dy / sqrt_q;
-        h(0, 2) = 0.0;
-        h(0, li) = dx / sqrt_q;
-        h(0, li + 1) = dy / sqrt_q;
-        h(1, 0) = dy / q;
-        h(1, 1) = -dx / q;
-        h(1, 2) = -1.0;
-        h(1, li) = -dy / q;
-        h(1, li + 1) = dx / q;
+        h_.resize(2, n);
+        h_(0, 0) = -dx / sqrt_q;
+        h_(0, 1) = -dy / sqrt_q;
+        h_(0, 2) = 0.0;
+        h_(0, li) = dx / sqrt_q;
+        h_(0, li + 1) = dy / sqrt_q;
+        h_(1, 0) = dy / q;
+        h_(1, 1) = -dx / q;
+        h_(1, 2) = -1.0;
+        h_(1, li) = -dy / q;
+        h_(1, li + 1) = dx / q;
 
-        Matrix q_noise{{noise_.range * noise_.range, 0.0},
-                       {0.0, noise_.bearing * noise_.bearing}};
+        // S = H Σ Hᵀ + Q and K = Σ Hᵀ S⁻¹ through the fused workspace
+        // entry points — no n-sized temporaries, and Hᵀ is never
+        // materialised.
+        symmetricSandwich(h_, sigma_, s_, hp_work_);
+        s_(0, 0) += noise_.range * noise_.range;
+        s_(1, 1) += noise_.bearing * noise_.bearing;
+        multiplyTransposed(sigma_, h_, pht_);
+        Matrix s_inv = inverse(s_); // 2x2
+        gemm(pht_, s_inv, k_, 1.0, 0.0);
 
-        Matrix ht = h.transposed();
-        Matrix s = h * sigma_ * ht + q_noise;
-        Matrix k = sigma_ * ht * inverse(s);
-
-        Matrix innovation(2, 1);
-        innovation(0, 0) = obs.range - expected_range;
-        innovation(1, 0) =
+        innovation_.resize(2, 1);
+        innovation_(0, 0) = obs.range - expected_range;
+        innovation_(1, 0) =
             normalizeAngle(obs.bearing - expected_bearing);
 
-        mu_ += k * innovation;
+        gemm(k_, innovation_, mu_, 1.0, 1.0); // μ += K ν
         mu_(2, 0) = normalizeAngle(mu_(2, 0));
-        sigma_ = (Matrix::identity(n) - k * h) * sigma_;
+        // Σ ← Σ - (K H) Σ (algebraically the seed's (I - K H) Σ,
+        // without building the identity).
+        gemm(k_, h_, kh_, 1.0, 0.0);
+        gemm(kh_, sigma_, sigma_tmp_, 1.0, 0.0);
+        sigma_ -= sigma_tmp_;
     }
 }
 

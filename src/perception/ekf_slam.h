@@ -99,6 +99,19 @@ class EkfSlam
     std::vector<int> landmark_slot_;  // id -> slot (-1 = unknown)
     Matrix mu_;     // (3 + 2N) x 1 mean
     Matrix sigma_;  // (3 + 2N) x (3 + 2N) covariance
+
+    // Update-step workspaces fed to the fused linalg entry points
+    // (gemm/multiplyTransposed/symmetricSandwich). Their heap blocks
+    // are reused across observations, so the inner loop stops
+    // allocating once the state has reached its final size.
+    Matrix h_;          // 2 x n measurement Jacobian
+    Matrix s_;          // 2 x 2 innovation covariance
+    Matrix hp_work_;    // 2 x n sandwich workspace (H Σ)
+    Matrix pht_;        // n x 2 cross covariance (Σ Hᵀ)
+    Matrix k_;          // n x 2 Kalman gain
+    Matrix kh_;         // n x n gain-times-Jacobian
+    Matrix sigma_tmp_;  // n x n covariance correction
+    Matrix innovation_; // 2 x 1
 };
 
 /**
