@@ -1,69 +1,353 @@
 /**
  * @file
- * Ablation: k-d tree vs brute-force nearest-neighbor search inside RRT
- * (the paper attributes up to 31% of RRT's time to NN search; this
- * quantifies what the k-d tree buys as the tree grows).
+ * Ablation: nearest-neighbor engines.
+ *
+ * Two axes, matching the paper's claim that NN search is 31-49% of the
+ * sampling-based planners and a major share of ICP:
+ *
+ *  1. structure: k-d tree vs brute-force scan inside RRT (the original
+ *     ablation — what having a tree at all buys as the tree grows);
+ *  2. layout: the leaf-bucketed SoA "bucket" engine vs the one-point-
+ *     per-node "node" reference tree, micro (build / query / insert-
+ *     heavy) and end-to-end on the five NN-heavy kernels via --nn.
+ *
+ * Both engines return exactly identical hits under the (dist2, id)
+ * tie-break contract; the bench asserts this on every micro workload.
+ *
+ * `--json [path]` additionally writes BENCH_nn.json (default path) so
+ * EXPERIMENTS.md tracks measured numbers.
  */
 
+#include <cstring>
+
 #include "bench_common.h"
+#include "pointcloud/bucket_kdtree.h"
 #include "pointcloud/dyn_kdtree.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
-int
-main()
+namespace {
+
+using namespace rtr;
+using namespace rtr::bench;
+
+/** Best-of-@p reps seconds for one call of @p body, after one warmup. */
+template <typename F>
+double
+bestOf(int reps, F &&body)
 {
-    using namespace rtr;
-    using namespace rtr::bench;
+    body();
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        Stopwatch timer;
+        body();
+        best = std::min(best, timer.elapsedSec());
+    }
+    return best;
+}
 
-    banner("ablation — nearest-neighbor structure in RRT",
-           "k-d tree vs brute-force scan (design choice behind the "
-           "paper's 31% NN share)");
+/** Uniform points in the arm-planner range, 5-D joint space. */
+std::vector<std::vector<double>>
+randomPoints(std::size_t n, std::size_t dim, Rng &rng)
+{
+    std::vector<std::vector<double>> pts(n, std::vector<double>(dim));
+    for (auto &p : pts)
+        for (double &v : p)
+            v = rng.uniform(-3.0, 3.0);
+    return pts;
+}
 
-    // Micro: query cost vs tree size, 5-D joint space.
+/** Exact hit-list equality: same ids AND bitwise-same dist2. */
+bool
+sameHits(const std::vector<KdHit> &a, const std::vector<KdHit> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].id != b[i].id || a[i].dist2 != b[i].dist2)
+            return false;
+    return true;
+}
+
+/** One micro size-point: both engines over the same workload. */
+struct MicroResult
+{
+    std::size_t n = 0;
+    double node_build_ms = 0.0, bucket_build_ms = 0.0;
+    double node_nn_us = 0.0, bucket_nn_us = 0.0;
+    double node_knn_us = 0.0, bucket_knn_us = 0.0;
+    double node_radius_us = 0.0, bucket_radius_us = 0.0;
+    double node_insert_us = 0.0, bucket_insert_us = 0.0;
+    bool identical = true;
+};
+
+/**
+ * Micro comparison at one size: static build + nearest / kNearest /
+ * radius query cost, plus the RRT-style interleaved insert+nearest
+ * loop, node vs bucket. Verifies exact result identity throughout.
+ */
+MicroResult
+microAt(std::size_t n, Rng &rng)
+{
+    constexpr std::size_t kDim = 5;
+    constexpr std::size_t kK = 10;
+    constexpr double kRadius = 0.6;
+    const int reps = 3;
+    const std::size_t n_queries = 2000;
+
+    MicroResult res;
+    res.n = n;
+    const auto points = randomPoints(n, kDim, rng);
+    const auto queries = randomPoints(n_queries, kDim, rng);
+
+    DynKdTree node(kDim);
+    DynBucketKdTree bucket(kDim);
+    res.node_build_ms = bestOf(reps, [&] {
+        node.clear();
+        for (std::size_t i = 0; i < n; ++i)
+            node.insert(points[i], static_cast<std::uint32_t>(i));
+    }) * 1e3;
+    res.bucket_build_ms = bestOf(reps, [&] {
+        bucket.build(points);
+    }) * 1e3;
+
+    double sink = 0.0;
+    res.node_nn_us = bestOf(reps, [&] {
+        for (const auto &q : queries)
+            sink += node.nearest(q).dist2;
+    }) * 1e6 / static_cast<double>(n_queries);
+    res.bucket_nn_us = bestOf(reps, [&] {
+        for (const auto &q : queries)
+            sink += bucket.nearest(q).dist2;
+    }) * 1e6 / static_cast<double>(n_queries);
+
+    std::vector<KdHit> node_hits, bucket_hits;
+    res.node_knn_us = bestOf(reps, [&] {
+        for (const auto &q : queries) {
+            node.kNearestInto(q, kK, node_hits);
+            sink += node_hits.back().dist2;
+        }
+    }) * 1e6 / static_cast<double>(n_queries);
+    res.bucket_knn_us = bestOf(reps, [&] {
+        for (const auto &q : queries) {
+            bucket.kNearestInto(q, kK, bucket_hits);
+            sink += bucket_hits.back().dist2;
+        }
+    }) * 1e6 / static_cast<double>(n_queries);
+
+    res.node_radius_us = bestOf(reps, [&] {
+        for (const auto &q : queries) {
+            node.radiusSearchInto(q, kRadius, node_hits);
+            sink += static_cast<double>(node_hits.size());
+        }
+    }) * 1e6 / static_cast<double>(n_queries);
+    res.bucket_radius_us = bestOf(reps, [&] {
+        for (const auto &q : queries) {
+            bucket.radiusSearchInto(q, kRadius, bucket_hits);
+            sink += static_cast<double>(bucket_hits.size());
+        }
+    }) * 1e6 / static_cast<double>(n_queries);
+
+    // RRT-style loop: alternate insert and nearest on a growing tree.
+    res.node_insert_us = bestOf(reps, [&] {
+        DynKdTree t(kDim);
+        for (std::size_t i = 0; i < n; ++i) {
+            t.insert(points[i], static_cast<std::uint32_t>(i));
+            sink += t.nearest(queries[i % n_queries]).dist2;
+        }
+    }) * 1e6 / static_cast<double>(n);
+    res.bucket_insert_us = bestOf(reps, [&] {
+        DynBucketKdTree t(kDim);
+        for (std::size_t i = 0; i < n; ++i) {
+            t.insert(points[i], static_cast<std::uint32_t>(i));
+            sink += t.nearest(queries[i % n_queries]).dist2;
+        }
+    }) * 1e6 / static_cast<double>(n);
+    if (sink < 0)
+        std::cout << "";  // keep the measurements live
+
+    // Identity check over every query, all three query kinds.
+    for (const auto &q : queries) {
+        KdHit a = node.nearest(q);
+        KdHit b = bucket.nearest(q);
+        if (a.id != b.id || a.dist2 != b.dist2)
+            res.identical = false;
+        node.kNearestInto(q, kK, node_hits);
+        bucket.kNearestInto(q, kK, bucket_hits);
+        if (!sameHits(node_hits, bucket_hits))
+            res.identical = false;
+        node.radiusSearchInto(q, kRadius, node_hits);
+        bucket.radiusSearchInto(q, kRadius, bucket_hits);
+        if (!sameHits(node_hits, bucket_hits))
+            res.identical = false;
+    }
+    return res;
+}
+
+/** End-to-end: one kernel under --nn node vs --nn bucket. */
+struct E2eResult
+{
+    std::string kernel;
+    double node_roi_s = 0.0;
+    double bucket_roi_s = 0.0;
+    /** Output metrics agree exactly between the two engines. */
+    bool identical = true;
+};
+
+/**
+ * Kernel-output metrics that must be engine-independent. Timing
+ * metrics (fractions, seconds) legitimately differ; everything
+ * counting work or measuring solution quality must not.
+ */
+const std::vector<std::string> kOutputMetrics = {
+    "path_cost_rad",   "path_cost_m",     "tree_size",
+    "samples",         "rewires",         "roadmap_nodes",
+    "roadmap_edges",   "mean_pose_error_m", "final_rmse_m",
+    "model_points",    "cost_before_rad", "cost_after_rad",
+    "shortcuts_applied",
+};
+
+/** Reduced-but-representative configs for the five NN-heavy kernels. */
+struct E2eRow
+{
+    const char *kernel;
+    std::vector<std::string> overrides;
+    /** Seeds to sum ROI over (planner instances are sub-ms; a sweep
+     *  covers easy and hard start/goal pairs and sheds timer noise). */
+    int n_seeds = 1;
+    /** Also vary --instance-seed (the arm kernels' start/goal draw). */
+    bool instance_seed = false;
+};
+
+const std::vector<E2eRow> kE2eRows = {
+    {"srec", {"--frames", "8"}, 2, false},
+    {"prm", {}, 6, true},
+    {"rrt", {}, 6, true},
+    {"rrtstar", {"--samples", "4000"}, 6, true},
+    {"rrtpp", {}, 6, true},
+};
+
+E2eResult
+e2eKernel(const E2eRow &row)
+{
+    E2eResult res;
+    res.kernel = row.kernel;
+    for (int seed = 1; seed <= row.n_seeds; ++seed) {
+        std::vector<std::string> base = row.overrides;
+        base.insert(base.end(), {"--seed", std::to_string(seed)});
+        if (row.instance_seed)
+            base.insert(base.end(),
+                        {"--instance-seed", std::to_string(seed)});
+        std::vector<std::string> node_args = base;
+        node_args.insert(node_args.end(), {"--nn", "node"});
+        std::vector<std::string> bucket_args = base;
+        bucket_args.insert(bucket_args.end(), {"--nn", "bucket"});
+
+        const KernelReport node_report =
+            runKernelWarm(row.kernel, node_args);
+        const KernelReport bucket_report =
+            runKernelWarm(row.kernel, bucket_args);
+        res.node_roi_s += node_report.roi_seconds;
+        res.bucket_roi_s += bucket_report.roi_seconds;
+        for (const std::string &m : kOutputMetrics) {
+            const bool in_node = node_report.metrics.count(m) != 0;
+            const bool in_bucket = bucket_report.metrics.count(m) != 0;
+            if (in_node != in_bucket ||
+                (in_node && node_report.metrics.at(m) !=
+                                bucket_report.metrics.at(m)))
+                res.identical = false;
+        }
+    }
+    return res;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<MicroResult> &micro,
+          const std::vector<E2eResult> &e2e, bool all_identical)
+{
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    JsonWriter json(file);
+    json.beginObject();
+    json.field("benchmark", "nn_engines");
+    json.field("dim", 5);
+    json.field("leaf_capacity",
+               static_cast<long long>(detail::BucketKdCore::kLeafCapacity));
+    json.beginArray("micro");
+    for (const MicroResult &m : micro) {
+        json.beginObject();
+        json.field("n", static_cast<long long>(m.n));
+        json.field("node_build_ms", m.node_build_ms);
+        json.field("bucket_build_ms", m.bucket_build_ms);
+        json.field("node_nearest_us", m.node_nn_us);
+        json.field("bucket_nearest_us", m.bucket_nn_us);
+        json.field("node_knearest_us", m.node_knn_us);
+        json.field("bucket_knearest_us", m.bucket_knn_us);
+        json.field("node_radius_us", m.node_radius_us);
+        json.field("bucket_radius_us", m.bucket_radius_us);
+        json.field("node_insert_nearest_us", m.node_insert_us);
+        json.field("bucket_insert_nearest_us", m.bucket_insert_us);
+        json.field("nearest_speedup", m.node_nn_us / m.bucket_nn_us);
+        json.field("identical", m.identical);
+        json.endObject();
+    }
+    json.endArray();
+    json.beginArray("end_to_end");
+    for (const E2eResult &r : e2e) {
+        json.beginObject();
+        json.field("kernel", r.kernel);
+        json.field("node_roi_seconds", r.node_roi_s);
+        json.field("bucket_roi_seconds", r.bucket_roi_s);
+        json.field("speedup", r.node_roi_s / r.bucket_roi_s);
+        json.field("outputs_identical", r.identical);
+        json.endObject();
+    }
+    json.endArray();
+    json.field("all_identical", all_identical);
+    json.endObject();
+    std::cout << "\nwrote " << path << "\n";
+}
+
+/** The original ablation: kd-tree vs brute force inside RRT. */
+void
+structureAblation()
+{
     Table micro({"tree size", "kd-tree us/query", "brute us/query",
                  "speedup"});
     Rng rng(1);
     for (std::size_t n : {1000u, 10000u, 50000u}) {
         DynKdTree tree(5);
-        std::vector<std::vector<double>> points;
-        for (std::size_t i = 0; i < n; ++i) {
-            std::vector<double> p(5);
-            for (double &v : p)
-                v = rng.uniform(-3.0, 3.0);
-            tree.insert(p, static_cast<std::uint32_t>(i));
-            points.push_back(std::move(p));
-        }
-        const int queries = 2000;
-        std::vector<std::vector<double>> qs;
-        for (int q = 0; q < queries; ++q) {
-            std::vector<double> p(5);
-            for (double &v : p)
-                v = rng.uniform(-3.0, 3.0);
-            qs.push_back(std::move(p));
-        }
+        const auto points = randomPoints(n, 5, rng);
+        for (std::size_t i = 0; i < n; ++i)
+            tree.insert(points[i], static_cast<std::uint32_t>(i));
+        const auto qs = randomPoints(2000, 5, rng);
 
         Stopwatch kd_timer;
         double checksum = 0.0;
         for (const auto &q : qs)
             checksum += tree.nearest(q).dist2;
-        double kd_us = kd_timer.elapsedSec() * 1e6 / queries;
+        double kd_us = kd_timer.elapsedSec() * 1e6 /
+                       static_cast<double>(qs.size());
 
         Stopwatch brute_timer;
         for (const auto &q : qs) {
             double best = 1e300;
             for (const auto &p : points) {
                 double d2 = 0.0;
-                for (int d = 0; d < 5; ++d) {
-                    double diff = p[static_cast<std::size_t>(d)] -
-                                  q[static_cast<std::size_t>(d)];
+                for (std::size_t d = 0; d < 5; ++d) {
+                    double diff = p[d] - q[d];
                     d2 += diff * diff;
                 }
                 best = std::min(best, d2);
             }
             checksum += best;
         }
-        double brute_us = brute_timer.elapsedSec() * 1e6 / queries;
+        double brute_us = brute_timer.elapsedSec() * 1e6 /
+                          static_cast<double>(qs.size());
 
         micro.addRow({Table::count(static_cast<long long>(n)),
                       Table::num(kd_us, 2), Table::num(brute_us, 2),
@@ -73,8 +357,7 @@ main()
     }
     micro.print();
 
-    // End-to-end: the rrt kernel with and without the k-d tree.
-    std::cout << "\nend-to-end rrt kernel (Map-C, mean of 8 seeds):\n";
+    std::cout << "\nend-to-end rrt kernel (mean of 8 seeds):\n";
     Table e2e({"nn structure", "ROI ms (mean)", "nn share (mean)"});
     for (int brute : {0, 1}) {
         RunningStat roi, nn;
@@ -90,5 +373,100 @@ main()
                     Table::num(roi.mean(), 2), Table::pct(nn.mean())});
     }
     e2e.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Harness harness(argc, argv);
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json_path = "BENCH_nn.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                json_path = argv[i + 1];
+        }
+    }
+
+    banner("ablation — nearest-neighbor engines",
+           "NN search is 31-49% of the sampling-based planners and a "
+           "major share of ICP (Table 1 / Fig. 5)");
+
+    std::cout << "\n[1] structure: kd-tree vs brute-force scan (RRT)\n";
+    structureAblation();
+
+    std::cout << "\n[2] layout: bucket (leaf-bucketed SoA) vs node "
+                 "(one-point-per-node) engine, 5-D\n";
+    Table layout({"points", "phase", "node", "bucket", "speedup",
+                  "identical"});
+    std::vector<MicroResult> micro;
+    Rng rng(3);
+    bool all_identical = true;
+    for (std::size_t n : {1000u, 10000u, 100000u}) {
+        MicroResult m = microAt(n, rng);
+        micro.push_back(m);
+        all_identical = all_identical && m.identical;
+        const std::string count = Table::count(static_cast<long long>(n));
+        const std::string same = m.identical ? "yes" : "NO";
+        layout.addRow({count, "build (ms)",
+                       Table::num(m.node_build_ms, 2),
+                       Table::num(m.bucket_build_ms, 2),
+                       Table::num(m.node_build_ms / m.bucket_build_ms, 1) +
+                           "x",
+                       same});
+        layout.addRow({count, "nearest (us)", Table::num(m.node_nn_us, 2),
+                       Table::num(m.bucket_nn_us, 2),
+                       Table::num(m.node_nn_us / m.bucket_nn_us, 1) + "x",
+                       same});
+        layout.addRow({count, "kNearest-10 (us)",
+                       Table::num(m.node_knn_us, 2),
+                       Table::num(m.bucket_knn_us, 2),
+                       Table::num(m.node_knn_us / m.bucket_knn_us, 1) +
+                           "x",
+                       same});
+        layout.addRow({count, "radius 0.6 (us)",
+                       Table::num(m.node_radius_us, 2),
+                       Table::num(m.bucket_radius_us, 2),
+                       Table::num(m.node_radius_us / m.bucket_radius_us,
+                                  1) +
+                           "x",
+                       same});
+        layout.addRow({count, "insert+nearest (us)",
+                       Table::num(m.node_insert_us, 2),
+                       Table::num(m.bucket_insert_us, 2),
+                       Table::num(m.node_insert_us / m.bucket_insert_us,
+                                  1) +
+                           "x",
+                       same});
+    }
+    layout.print();
+
+    std::cout << "\n[3] end-to-end: the five NN-heavy kernels, "
+                 "--nn node vs --nn bucket (ROI summed over a seed "
+                 "sweep)\n";
+    Table e2e_table({"kernel", "node ROI ms", "bucket ROI ms", "speedup",
+                     "outputs identical"});
+    std::vector<E2eResult> e2e;
+    for (const E2eRow &row : kE2eRows) {
+        E2eResult r = e2eKernel(row);
+        e2e.push_back(r);
+        all_identical = all_identical && r.identical;
+        e2e_table.addRow({r.kernel, Table::num(r.node_roi_s * 1e3, 2),
+                          Table::num(r.bucket_roi_s * 1e3, 2),
+                          Table::num(r.node_roi_s / r.bucket_roi_s, 2) +
+                              "x",
+                          r.identical ? "yes" : "NO"});
+    }
+    e2e_table.print();
+
+    if (!json_path.empty())
+        writeJson(json_path, micro, e2e, all_identical);
+
+    if (!all_identical) {
+        std::cerr << "\nFAIL: engines disagreed on some workload\n";
+        return 2;
+    }
     return 0;
 }

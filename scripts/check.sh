@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Local CI: build + ctest across the sanitizer matrix.
 #
-#   scripts/check.sh              # release + asan + ubsan + tsan + scalar
+#   scripts/check.sh              # release + asan + ubsan + tsan + scalar + nn-node
 #   scripts/check.sh release asan # just those variants
 #
 # Each variant uses its own build tree (build-check-<variant>) so the
@@ -10,14 +10,17 @@
 # remaining tests are single-threaded by construction. The scalar
 # variant builds with -DRTR_FORCE_SCALAR_SIMD=ON so the portable
 # fallback of rtr::simd::VecD (the code path non-x86/ARM hosts compile)
-# stays green.
+# stays green. The nn-node variant reruns the full suite with
+# RTR_NN_ENGINE=node so the reference nearest-neighbor engine (the
+# default is the leaf-bucketed one) stays green too; it reuses the
+# release build tree.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 variants=("$@")
 if [ ${#variants[@]} -eq 0 ]; then
-    variants=(release asan ubsan tsan scalar)
+    variants=(release asan ubsan tsan scalar nn-node)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -26,8 +29,11 @@ for variant in "${variants[@]}"; do
     dir="build-check-${variant}"
     cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
     test_args=(--output-on-failure -j "${jobs}")
+    env_vars=()
     case "${variant}" in
       release) ;;
+      nn-node) dir="build-check-release"
+               env_vars=(RTR_NN_ENGINE=node) ;;
       asan)  cmake_args+=(-DRTR_ASAN=ON) ;;
       ubsan) cmake_args+=(-DRTR_UBSAN=ON) ;;
       tsan)  cmake_args+=(-DRTR_TSAN=ON)
@@ -41,7 +47,8 @@ for variant in "${variants[@]}"; do
     cmake --build "${dir}" -j "${jobs}"
 
     echo "==== ${variant}: ctest ===="
-    ctest --test-dir "${dir}" "${test_args[@]}"
+    env ${env_vars[@]+"${env_vars[@]}"} ctest --test-dir "${dir}" \
+        "${test_args[@]}"
 done
 
 echo "==== all variants passed: ${variants[*]} ===="

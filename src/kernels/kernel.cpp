@@ -40,6 +40,24 @@ applySimdOption(const ArgParser &args)
 }
 
 void
+addNnOption(ArgParser &parser)
+{
+    parser.addOption("nn", nnEngineName(defaultNnEngine()),
+                     "NN engine: bucket = leaf-bucketed SoA k-d tree, "
+                     "node = reference tree (identical results)");
+}
+
+NnEngine
+nnEngineFromArgs(const ArgParser &args)
+{
+    NnEngine engine = defaultNnEngine();
+    const std::string name = args.get("nn");
+    if (!parseNnEngine(name, engine))
+        fatal("--nn must be 'bucket' or 'node', got '", name, "'");
+    return engine;
+}
+
+void
 writeReportFile(const KernelReport &report, const std::string &path)
 {
     std::ofstream out(path);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "pointcloud/nn_engine.h"
 #include "util/args.h"
 #include "util/profiler.h"
 
@@ -54,6 +55,19 @@ void addSimdOption(ArgParser &parser);
 
 /** Apply a parsed --simd value to the linalg dispatch flag. */
 void applySimdOption(const ArgParser &args);
+
+/**
+ * Register the standard --nn option shared by the nearest-neighbor-bound
+ * kernels (srec, prm, rrt, rrtstar, rrtpp): "bucket" = leaf-bucketed SoA
+ * k-d tree (the default), "node" = the preserved one-point-per-node
+ * reference tree. Both return exactly identical hits under the
+ * (dist2, id) tie-break (DESIGN.md "Nearest-neighbor engine"); the
+ * switch exists for engine A/B timing on one binary.
+ */
+void addNnOption(ArgParser &parser);
+
+/** Parse the --nn value to an engine; fatal() on anything unknown. */
+NnEngine nnEngineFromArgs(const ArgParser &args);
 
 /** Result of one kernel run. */
 struct KernelReport

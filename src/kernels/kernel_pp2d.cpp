@@ -93,6 +93,8 @@ Pp2dKernel::run(const ArgParser &args) const
         static_cast<double>(plan.collision_checks);
     report.metrics["path_cost_m"] = plan.cost;
     report.metrics["path_cells"] = static_cast<double>(plan.path.size());
+    report.metrics["peak_open_list"] =
+        static_cast<double>(plan.peak_open);
     return report;
 }
 

@@ -86,6 +86,8 @@ Pp3dKernel::run(const ArgParser &args) const
     report.metrics["collision_checks"] =
         static_cast<double>(plan.collision_checks);
     report.metrics["path_cost_m"] = plan.cost;
+    report.metrics["peak_open_list"] =
+        static_cast<double>(plan.peak_open);
     return report;
 }
 

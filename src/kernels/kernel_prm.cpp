@@ -15,6 +15,7 @@ PrmKernel::addOptions(ArgParser &parser) const
     parser.addOption("neighbors", "10", "k nearest connections/sample");
     parser.addOption("edge-length", "1.2", "Max edge length (rad, L2)");
     addThreadsOption(parser);
+    addNnOption(parser);
 }
 
 KernelReport
@@ -29,6 +30,7 @@ PrmKernel::run(const ArgParser &args) const
     config.k_neighbors =
         static_cast<std::size_t>(args.getInt("neighbors"));
     config.max_edge_length = args.getDouble("edge-length");
+    config.nn_engine = nnEngineFromArgs(args);
 
     PrmPlanner planner(problem.space, *problem.checker, config);
 

@@ -17,6 +17,7 @@ RrtPpKernel::addOptions(ArgParser &parser) const
     parser.addOption("bias", "0.05", "Random number generation bias");
     parser.addOption("shortcut-iterations", "200",
                      "Shortcut attempts in post-processing");
+    addNnOption(parser);
 }
 
 KernelReport
@@ -29,6 +30,7 @@ RrtPpKernel::run(const ArgParser &args) const
     config.max_samples = static_cast<std::size_t>(args.getInt("samples"));
     config.step_size = args.getDouble("epsilon");
     config.goal_bias = args.getDouble("bias");
+    config.nn_engine = nnEngineFromArgs(args);
 
     ShortcutConfig shortcut_config;
     shortcut_config.iterations =

@@ -20,6 +20,7 @@ SrecKernel::addOptions(ArgParser &parser) const
     parser.addOption("seed", "1", "Random seed");
     addThreadsOption(parser);
     addSimdOption(parser);
+    addNnOption(parser);
 }
 
 KernelReport
@@ -49,6 +50,7 @@ SrecKernel::run(const ArgParser &args) const
     config.icp.max_iterations =
         static_cast<int>(args.getInt("icp-iterations"));
     config.icp.max_correspondence_distance = 0.5;
+    config.icp.nn_engine = nnEngineFromArgs(args);
 
     // ---- Reconstruction (the ROI) ----
     SceneReconstructor reconstructor(config);
@@ -84,11 +86,13 @@ SrecKernel::run(const ArgParser &args) const
     // memory traffic the paper identifies. Matrix operations: the
     // per-iteration 6x6 solves plus the per-point covariance
     // eigendecompositions of normal estimation.
-    double nn = report.phaseFraction("icp-nn");
+    double nn = report.phaseFraction("icp-nn") +
+                report.phaseFraction("icp-nn-build");
     double solve = report.phaseFraction("icp-solve");
     double apply = report.phaseFraction("icp-apply");
     double merge = report.phaseFraction("merge");
-    double normals_nn = report.phaseFraction("normals-nn");
+    double normals_nn = report.phaseFraction("normals-nn") +
+                        report.phaseFraction("normals-nn-build");
     double normals_eigen = report.phaseFraction("normals-eigen");
 
     report.success = pose_error < 0.10;

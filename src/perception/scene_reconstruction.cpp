@@ -22,8 +22,9 @@ SceneReconstructor::addScan(const PointCloud &scan, PhaseProfiler *profiler)
     // Surface normals of the current model (point-to-plane ICP target).
     // The camera stays near the model centroid's side; orienting
     // towards the previous camera position is sufficient.
-    std::vector<Vec3> normals = estimateNormals(
-        model_, 10, poses_.back().translation, profiler);
+    std::vector<Vec3> normals =
+        estimateNormals(model_, 10, poses_.back().translation, profiler,
+                        config_.icp.nn_engine);
 
     // Constant-velocity seed: extrapolate the previous inter-frame
     // motion, as a visual-odometry front end would.

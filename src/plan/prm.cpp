@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "pointcloud/dyn_kdtree.h"
+#include "pointcloud/nn_index.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -42,10 +42,10 @@ PrmPlanner::build(Rng &rng, PhaseProfiler *profiler)
 
     {
         ScopedPhase phase(profiler, "offline-connect");
-        // k-nearest connection via a kd-tree over all roadmap configs.
-        DynKdTree tree(space_.dof());
-        for (std::size_t i = 0; i < configs_.size(); ++i)
-            tree.insert(configs_[i], static_cast<std::uint32_t>(i));
+        // k-nearest connection via a kd-tree over all roadmap configs
+        // (bulk-built: every config is known up front).
+        DynNnIndex tree(space_.dof(), config_.nn_engine);
+        tree.build(configs_);
 
         // Each node's neighbor query + edge collision checks are
         // independent of every other node's, so chunks of nodes run
@@ -63,13 +63,12 @@ PrmPlanner::build(Rng &rng, PhaseProfiler *profiler)
         parallelForChunks(0, n_nodes, grain, [&](const ChunkRange &chunk) {
             ArmCollisionChecker local_checker(checker_.arm(),
                                               checker_.workspace());
+            std::vector<KdHit> near; // reused across the chunk
             for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
-                std::vector<KdHit> near = tree.radiusSearch(
-                    configs_[i], config_.max_edge_length);
-                std::sort(near.begin(), near.end(),
-                          [](const KdHit &a, const KdHit &b) {
-                              return a.dist2 < b.dist2;
-                          });
+                // Hits arrive sorted by (dist2, id) — the engines'
+                // contract — so candidates are tried closest-first.
+                tree.radiusSearchInto(configs_[i],
+                                      config_.max_edge_length, near);
                 std::size_t connected = 0;
                 for (const KdHit &hit : near) {
                     if (hit.id <= i)  // undirected: connect upward only

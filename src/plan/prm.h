@@ -15,6 +15,7 @@
 
 #include "arm/workspace.h"
 #include "plan/plan_types.h"
+#include "pointcloud/nn_engine.h"
 #include "search/graph_search.h"
 #include "util/profiler.h"
 #include "util/rng.h"
@@ -32,6 +33,8 @@ struct PrmConfig
     double max_edge_length = 1.0;
     /** Interpolation resolution of motion collision checks (radians). */
     double collision_step = 0.05;
+    /** Which NN engine backs the roadmap connection queries (--nn). */
+    NnEngine nn_engine = defaultNnEngine();
 };
 
 /** Offline roadmap statistics. */

@@ -1,6 +1,6 @@
 #include "plan/rrt_connect.h"
 
-#include "pointcloud/dyn_kdtree.h"
+#include "pointcloud/nn_index.h"
 #include "util/logging.h"
 
 namespace rtr {
@@ -12,9 +12,10 @@ struct Tree
 {
     std::vector<ArmConfig> nodes;
     std::vector<std::uint32_t> parents;
-    DynKdTree index;
+    DynNnIndex index;
 
-    explicit Tree(std::size_t dof, const ArmConfig &root) : index(dof)
+    Tree(std::size_t dof, NnEngine engine, const ArmConfig &root)
+        : index(dof, engine)
     {
         nodes.push_back(root);
         parents.push_back(0);
@@ -73,8 +74,8 @@ RrtConnectPlanner::plan(const ArmConfig &start, const ArmConfig &goal,
         }
     }
 
-    Tree start_tree(space_.dof(), start);
-    Tree goal_tree(space_.dof(), goal);
+    Tree start_tree(space_.dof(), config_.nn_engine, start);
+    Tree goal_tree(space_.dof(), config_.nn_engine, goal);
     Tree *grow = &start_tree;   // tree extended towards the sample
     Tree *chase = &goal_tree;   // tree that then tries to connect
     bool grow_is_start = true;

@@ -2,7 +2,7 @@
 
 #include <limits>
 
-#include "pointcloud/dyn_kdtree.h"
+#include "pointcloud/nn_index.h"
 
 namespace rtr {
 
@@ -32,8 +32,12 @@ RrtStarPlanner::plan(const ArmConfig &start, const ArmConfig &goal,
     std::vector<ArmConfig> nodes{start};
     std::vector<std::uint32_t> parents{0};
     std::vector<double> cost_to_come{0.0};
-    DynKdTree tree(space_.dof());
+    DynNnIndex tree(space_.dof(), config_.nn_engine);
     tree.insert(start, 0);
+
+    // Neighborhood hits, reused every iteration (the per-iteration
+    // radiusSearch allocation used to dominate small-tree iterations).
+    std::vector<KdHit> neighbors;
 
     // Best goal connection found so far: node id + cost through it.
     std::int64_t best_goal_parent = -1;
@@ -86,13 +90,14 @@ RrtStarPlanner::plan(const ArmConfig &start, const ArmConfig &goal,
         if (blocked)
             continue;
 
-        // Neighborhood query for choose-parent and rewiring.
-        std::vector<KdHit> neighbors;
+        // Neighborhood query for choose-parent and rewiring. Hits
+        // arrive sorted by (dist2, id) — the engines' contract — so
+        // the choose-parent/rewire scan order is engine-independent.
         {
             ScopedPhase phase(profiler, "nn-search");
             ++result.nn_queries;
-            neighbors = tree.radiusSearch(new_config,
-                                          config_.rewire_radius);
+            tree.radiusSearchInto(new_config, config_.rewire_radius,
+                                  neighbors);
         }
 
         // Choose-parent: connect through the neighbor minimizing

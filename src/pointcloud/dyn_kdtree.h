@@ -6,11 +6,18 @@
  * joint-space nearest-neighbor structure cannot fix the dimension at
  * compile time like KdTree<Dim>. Points are stored in one flat arena
  * for locality.
+ *
+ * This is the runtime-dimension variant of the preserved reference
+ * ("node") NN engine; DynBucketKdTree (bucket_kdtree.h) is the
+ * cache-conscious production engine. Both implement the (dist2, id)
+ * tie-break contract documented in kdtree.h / DESIGN.md, so their
+ * results are exactly identical.
  */
 
 #ifndef RTR_POINTCLOUD_DYN_KDTREE_H
 #define RTR_POINTCLOUD_DYN_KDTREE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -78,14 +85,46 @@ class DynKdTree
         return best;
     }
 
-    /** All stored points within the radius of the query. */
+    /** The k nearest stored points, sorted by (dist2, id). */
+    std::vector<KdHit>
+    kNearest(const std::vector<double> &query, std::size_t k) const
+    {
+        std::vector<KdHit> hits;
+        kNearestInto(query, k, hits);
+        return hits;
+    }
+
+    /** kNearest into a reusable buffer (cleared first). */
+    void
+    kNearestInto(const std::vector<double> &query, std::size_t k,
+                 std::vector<KdHit> &out) const
+    {
+        out.clear();
+        if (k == 0 || empty())
+            return;
+        out.reserve(k + 1);
+        kNearestRec(root_, query.data(), 0, k, out);
+        std::sort(out.begin(), out.end(), kdHitLess);
+    }
+
+    /** All points within the radius, sorted by (dist2, id). */
     std::vector<KdHit>
     radiusSearch(const std::vector<double> &query, double radius) const
     {
         std::vector<KdHit> hits;
-        if (!empty())
-            radiusRec(root_, query.data(), 0, radius * radius, hits);
+        radiusSearchInto(query, radius, hits);
         return hits;
+    }
+
+    /** radiusSearch into a reusable buffer (cleared first). */
+    void
+    radiusSearchInto(const std::vector<double> &query, double radius,
+                     std::vector<KdHit> &out) const
+    {
+        out.clear();
+        if (!empty())
+            radiusRec(root_, query.data(), 0, radius * radius, out);
+        std::sort(out.begin(), out.end(), kdHitLess);
     }
 
   private:
@@ -132,7 +171,7 @@ class DynKdTree
             return;
         const Node &n = nodes_[static_cast<std::size_t>(node)];
         double d2 = squaredDistance(node, query);
-        if (d2 < best.dist2)
+        if (kdHitBetter(d2, n.id, best))
             best = KdHit{n.id, d2};
 
         double delta = query[axis] - coord(node, axis);
@@ -140,8 +179,39 @@ class DynKdTree
         std::int32_t near_child = delta < 0 ? n.left : n.right;
         std::int32_t far_child = delta < 0 ? n.right : n.left;
         nearestRec(near_child, query, next, best);
-        if (delta * delta < best.dist2)
+        // <= so an equal-distance smaller-id point in the far subtree
+        // still gets visited (the (dist2, id) tie-break).
+        if (delta * delta <= best.dist2)
             nearestRec(far_child, query, next, best);
+    }
+
+    void
+    kNearestRec(std::int32_t node, const double *query, std::size_t axis,
+                std::size_t k, std::vector<KdHit> &heap) const
+    {
+        if (node == kNull)
+            return;
+        const Node &n = nodes_[static_cast<std::size_t>(node)];
+        double d2 = squaredDistance(node, query);
+        if (heap.size() < k) {
+            heap.push_back(KdHit{n.id, d2});
+            std::push_heap(heap.begin(), heap.end(), kdHitLess);
+        } else if (kdHitBetter(d2, n.id, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), kdHitLess);
+            heap.back() = KdHit{n.id, d2};
+            std::push_heap(heap.begin(), heap.end(), kdHitLess);
+        }
+
+        double delta = query[axis] - coord(node, axis);
+        std::size_t next = (axis + 1) % dim_;
+        std::int32_t near_child = delta < 0 ? n.left : n.right;
+        std::int32_t far_child = delta < 0 ? n.right : n.left;
+        kNearestRec(near_child, query, next, k, heap);
+        double worst = heap.size() < k
+                           ? std::numeric_limits<double>::max()
+                           : heap.front().dist2;
+        if (delta * delta <= worst)
+            kNearestRec(far_child, query, next, k, heap);
     }
 
     void

@@ -6,11 +6,70 @@
 
 #include "linalg/decomp.h"
 #include "linalg/eigen.h"
+#include "pointcloud/bucket_kdtree.h"
 #include "pointcloud/kdtree.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace rtr {
+
+namespace {
+
+/**
+ * The 3-D target index of ICP / normal estimation under either NN
+ * engine. Both engines implement the (dist2, id) contract, so every
+ * query below returns identical hits regardless of the choice.
+ */
+struct TargetIndex3
+{
+    NnEngine engine;
+    KdTree<3> node;
+    BucketKdTree<3> bucket;
+
+    explicit TargetIndex3(NnEngine engine) : engine(engine) {}
+
+    void
+    build(const PointCloud &cloud)
+    {
+        std::vector<std::array<double, 3>> pts;
+        pts.reserve(cloud.size());
+        for (const Vec3 &p : cloud.points())
+            pts.push_back({p.x, p.y, p.z});
+        if (engine == NnEngine::Bucket)
+            bucket.build(pts);
+        else
+            node.build(pts);
+    }
+
+    /** One nearest() per query, parallel over chunks. */
+    void
+    nearestAll(const std::vector<std::array<double, 3>> &queries,
+               std::vector<KdHit> &hits) const
+    {
+        if (engine == NnEngine::Bucket) {
+            bucket.nearestBatch(queries, hits);
+            return;
+        }
+        hits.resize(queries.size());
+        parallelFor(0, queries.size(), 0, [&](std::size_t i) {
+            hits[i] = node.nearest(queries[i]);
+        });
+    }
+};
+
+/** Refill the reusable point-major query buffer from the cloud. */
+void
+fillQueries(const PointCloud &cloud,
+            std::vector<std::array<double, 3>> &out)
+{
+    out.resize(cloud.size());
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        const Vec3 &p = cloud[i];
+        out[i] = {p.x, p.y, p.z};
+    }
+}
+
+} // namespace
 
 RigidTransform3
 bestRigidTransform(const std::vector<Vec3> &source,
@@ -72,20 +131,18 @@ icpRegister(const PointCloud &source, const PointCloud &target,
                "ICP needs >= 3 points in each cloud");
     IcpResult result;
 
-    // Build the target KD-tree once; correspondences re-query it every
+    // Build the target index once; correspondences re-query it every
     // iteration with the moving source points (the irregular-access
     // pattern the paper identifies as the memory bottleneck of srec).
-    KdTree<3> tree;
+    TargetIndex3 tree(config.nn_engine);
     {
-        ScopedPhase phase(profiler, "icp-nn");
-        std::vector<std::array<double, 3>> pts;
-        pts.reserve(target.size());
-        for (const Vec3 &p : target.points())
-            pts.push_back({p.x, p.y, p.z});
-        tree.build(pts);
+        ScopedPhase phase(profiler, "icp-nn-build");
+        tree.build(target);
     }
 
     PointCloud moved = source;
+    std::vector<std::array<double, 3>> queries; // reused per iteration
+    std::vector<KdHit> hits;                    // reused per iteration
     double prev_rmse = std::numeric_limits<double>::max();
     const double max_d2 =
         config.max_correspondence_distance > 0.0
@@ -107,11 +164,8 @@ icpRegister(const PointCloud &source, const PointCloud &target,
             // order, so err_sum accumulates in exactly the sequential
             // order at any thread count.
             const std::size_t n_moved = moved.size();
-            std::vector<KdHit> hits(n_moved);
-            parallelFor(0, n_moved, 0, [&](std::size_t i) {
-                const Vec3 &p = moved[i];
-                hits[i] = tree.nearest({p.x, p.y, p.z});
-            });
+            fillQueries(moved, queries);
+            tree.nearestAll(queries, hits);
             src_pts.reserve(n_moved);
             tgt_pts.reserve(n_moved);
             dist2.reserve(n_moved);
@@ -178,31 +232,45 @@ icpRegister(const PointCloud &source, const PointCloud &target,
 
 std::vector<Vec3>
 estimateNormals(const PointCloud &cloud, int k, const Vec3 &viewpoint,
-                PhaseProfiler *profiler)
+                PhaseProfiler *profiler, NnEngine nn_engine)
 {
     RTR_ASSERT(k >= 3, "normal estimation needs k >= 3");
     const auto n_points = cloud.size();
     const auto kk = static_cast<std::size_t>(k);
 
-    // Pass 1 (irregular memory): build the tree and gather every
+    // Pass 1 (irregular memory): build the index and gather every
     // point's neighborhood.
     std::vector<std::uint32_t> neighbor_ids(n_points * kk);
+    TargetIndex3 tree(nn_engine);
+    {
+        ScopedPhase phase(profiler, "normals-nn-build");
+        tree.build(cloud);
+    }
     {
         ScopedPhase phase(profiler, "normals-nn");
-        KdTree<3> tree;
-        std::vector<std::array<double, 3>> pts;
-        pts.reserve(n_points);
-        for (const Vec3 &p : cloud.points())
-            pts.push_back({p.x, p.y, p.z});
-        tree.build(pts);
-
-        parallelFor(0, n_points, 0, [&](std::size_t i) {
-            const Vec3 &p = cloud[i];
-            std::vector<KdHit> nbrs = tree.kNearest({p.x, p.y, p.z}, kk);
-            for (std::size_t j = 0; j < kk; ++j)
-                neighbor_ids[i * kk + j] =
-                    nbrs[std::min(j, nbrs.size() - 1)].id;
-        });
+        std::vector<std::array<double, 3>> queries;
+        fillQueries(cloud, queries);
+        if (nn_engine == NnEngine::Bucket) {
+            // Batched k-NN; each query's k slots are padded by
+            // repeating its last hit when the cloud is smaller than k,
+            // matching the scalar path below.
+            std::vector<KdHit> hits;
+            tree.bucket.kNearestBatch(queries, kk, hits);
+            for (std::size_t i = 0; i < n_points * kk; ++i)
+                neighbor_ids[i] = hits[i].id;
+        } else {
+            parallelForChunks(
+                0, n_points, 0, [&](const ChunkRange &chunk) {
+                    std::vector<KdHit> nbrs; // reused across the chunk
+                    for (std::size_t i = chunk.begin; i < chunk.end;
+                         ++i) {
+                        tree.node.kNearestInto(queries[i], kk, nbrs);
+                        for (std::size_t j = 0; j < kk; ++j)
+                            neighbor_ids[i * kk + j] =
+                                nbrs[std::min(j, nbrs.size() - 1)].id;
+                    }
+                });
+        }
     }
 
     // Pass 2 (matrix operations): per-point covariance eigensolve.
@@ -267,17 +335,15 @@ icpPointToPlane(const PointCloud &source, const PointCloud &target,
                "point-to-plane ICP needs >= 6 points");
     IcpResult result;
 
-    KdTree<3> tree;
+    TargetIndex3 tree(config.nn_engine);
     {
-        ScopedPhase phase(profiler, "icp-nn");
-        std::vector<std::array<double, 3>> pts;
-        pts.reserve(target.size());
-        for (const Vec3 &p : target.points())
-            pts.push_back({p.x, p.y, p.z});
-        tree.build(pts);
+        ScopedPhase phase(profiler, "icp-nn-build");
+        tree.build(target);
     }
 
     PointCloud moved = source;
+    std::vector<std::array<double, 3>> queries; // reused per iteration
+    std::vector<KdHit> hits;                    // reused per iteration
     double prev_rmse = std::numeric_limits<double>::max();
     const double max_d2 =
         config.max_correspondence_distance > 0.0
@@ -300,11 +366,8 @@ icpPointToPlane(const PointCloud &source, const PointCloud &target,
             // icpRegister: concurrent kd-tree queries, then the 6x6
             // normal-equation accumulation in sequential point order.
             const std::size_t n_moved = moved.size();
-            std::vector<KdHit> hits(n_moved);
-            parallelFor(0, n_moved, 0, [&](std::size_t i) {
-                const Vec3 &p = moved[i];
-                hits[i] = tree.nearest({p.x, p.y, p.z});
-            });
+            fillQueries(moved, queries);
+            tree.nearestAll(queries, hits);
             for (std::size_t i = 0; i < n_moved; ++i) {
                 const KdHit &hit = hits[i];
                 if (hit.dist2 > max_d2)

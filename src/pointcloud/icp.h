@@ -11,6 +11,7 @@
 #ifndef RTR_POINTCLOUD_ICP_H
 #define RTR_POINTCLOUD_ICP_H
 
+#include "pointcloud/nn_engine.h"
 #include "pointcloud/point_cloud.h"
 #include "util/profiler.h"
 
@@ -21,6 +22,8 @@ struct IcpConfig
 {
     /** Maximum outer iterations. */
     int max_iterations = 30;
+    /** Which NN engine backs the correspondence search (--nn). */
+    NnEngine nn_engine = defaultNnEngine();
     /** Stop when RMSE improves by less than this between iterations. */
     double convergence_delta = 1e-6;
     /** Reject correspondences farther apart than this (0 = keep all). */
@@ -49,10 +52,11 @@ struct IcpResult
 /**
  * Register @p source onto @p target.
  *
- * @param profiler Optional phase profiler; accumulates "icp-nn"
- *        (correspondence search) and "icp-solve" (transform estimation)
- *        phases, matching the paper's breakdown of srec into point-cloud
- *        operations and matrix operations.
+ * @param profiler Optional phase profiler; accumulates "icp-nn-build"
+ *        (target index construction), "icp-nn" (correspondence search)
+ *        and "icp-solve" (transform estimation) phases, matching the
+ *        paper's breakdown of srec into point-cloud operations and
+ *        matrix operations.
  */
 IcpResult icpRegister(const PointCloud &source, const PointCloud &target,
                       const IcpConfig &config = {},
@@ -71,13 +75,16 @@ RigidTransform3 bestRigidTransform(const std::vector<Vec3> &source,
  * eigenvector of each point's k-neighborhood covariance. Orientation is
  * disambiguated towards @p viewpoint.
  *
- * @param profiler Optional; accumulates "normals-nn" (the irregular
- *        neighborhood gathering) and "normals-eigen" (the per-point
- *        covariance eigendecompositions — matrix operations).
+ * @param profiler Optional; accumulates "normals-nn-build" (index
+ *        construction), "normals-nn" (the irregular neighborhood
+ *        gathering) and "normals-eigen" (the per-point covariance
+ *        eigendecompositions — matrix operations).
+ * @param nn_engine Which NN engine gathers the neighborhoods (--nn).
  */
 std::vector<Vec3> estimateNormals(const PointCloud &cloud, int k,
                                   const Vec3 &viewpoint,
-                                  PhaseProfiler *profiler = nullptr);
+                                  PhaseProfiler *profiler = nullptr,
+                                  NnEngine nn_engine = defaultNnEngine());
 
 /**
  * Point-to-plane ICP: minimizes sum((R p + t - q) . n)^2 by solving the

@@ -7,6 +7,16 @@
  * space — the paper attributes up to 31-49% of their time to this
  * operation). Supports both bulk median-split construction and the
  * incremental insertion RRT needs.
+ *
+ * This one-point-per-node tree is the preserved reference ("node") NN
+ * engine; bucket_kdtree.h is the cache-conscious production engine.
+ * Both implement the exactness contract documented in DESIGN.md
+ * ("Nearest-neighbor engine"): hits are totally ordered by (dist2, id)
+ * lexicographically, nearest returns the minimum under that order,
+ * kNearest the k smallest (sorted), radiusSearch every hit with
+ * dist2 <= radius^2 (sorted). The tie-break makes results independent
+ * of tree structure, so the engines agree exactly even on duplicate
+ * points.
  */
 
 #ifndef RTR_POINTCLOUD_KDTREE_H
@@ -29,6 +39,24 @@ struct KdHit
     std::uint32_t id = 0;
     double dist2 = std::numeric_limits<double>::max();
 };
+
+/**
+ * The documented total order on hits: (dist2, id) lexicographic
+ * ascending. Every NN engine ranks candidates with this comparator, so
+ * query results do not depend on tree structure or traversal order.
+ */
+inline bool
+kdHitLess(const KdHit &a, const KdHit &b)
+{
+    return a.dist2 < b.dist2 || (a.dist2 == b.dist2 && a.id < b.id);
+}
+
+/** Whether candidate (d2, id) beats `than` under the (dist2, id) order. */
+inline bool
+kdHitBetter(double d2, std::uint32_t id, const KdHit &than)
+{
+    return d2 < than.dist2 || (d2 == than.dist2 && id < than.id);
+}
 
 /**
  * k-d tree over points in R^Dim with uint32 payload ids.
@@ -106,30 +134,48 @@ class KdTree
     }
 
     /**
-     * The k nearest stored points, closest first. Returns fewer than k
-     * when the tree is smaller.
+     * The k nearest stored points, sorted by (dist2, id). Returns fewer
+     * than k when the tree is smaller.
      */
     std::vector<KdHit>
     kNearest(const Point &query, std::size_t k) const
     {
-        // Max-heap of the best k candidates found so far.
         std::vector<KdHit> heap;
-        heap.reserve(k + 1);
-        kNearestRec(root_, query, 0, k, heap);
-        std::sort(heap.begin(), heap.end(),
-                  [](const KdHit &a, const KdHit &b) {
-                      return a.dist2 < b.dist2;
-                  });
+        kNearestInto(query, k, heap);
         return heap;
     }
 
-    /** All stored points within the given radius of the query. */
+    /** kNearest into a reusable buffer (cleared first). */
+    void
+    kNearestInto(const Point &query, std::size_t k,
+                 std::vector<KdHit> &out) const
+    {
+        out.clear();
+        if (k == 0)
+            return;
+        // Max-heap of the best k candidates found so far.
+        out.reserve(k + 1);
+        kNearestRec(root_, query, 0, k, out);
+        std::sort(out.begin(), out.end(), kdHitLess);
+    }
+
+    /** All stored points within the radius, sorted by (dist2, id). */
     std::vector<KdHit>
     radiusSearch(const Point &query, double radius) const
     {
         std::vector<KdHit> hits;
-        radiusRec(root_, query, 0, radius * radius, hits);
+        radiusSearchInto(query, radius, hits);
         return hits;
+    }
+
+    /** radiusSearch into a reusable buffer (cleared first). */
+    void
+    radiusSearchInto(const Point &query, double radius,
+                     std::vector<KdHit> &out) const
+    {
+        out.clear();
+        radiusRec(root_, query, 0, radius * radius, out);
+        std::sort(out.begin(), out.end(), kdHitLess);
     }
 
   private:
@@ -193,7 +239,7 @@ class KdTree
             return;
         const Node &n = nodes_[static_cast<std::size_t>(node)];
         double d2 = squaredDistance(n.point, query);
-        if (d2 < best.dist2)
+        if (kdHitBetter(d2, n.id, best))
             best = KdHit{n.id, d2};
 
         double delta = query[axis] - n.point[axis];
@@ -201,7 +247,9 @@ class KdTree
         std::int32_t near_child = delta < 0 ? n.left : n.right;
         std::int32_t far_child = delta < 0 ? n.right : n.left;
         nearestRec(near_child, query, next, best);
-        if (delta * delta < best.dist2)
+        // <= so a far-subtree point at exactly best.dist2 with a
+        // smaller id still gets visited (the (dist2, id) tie-break).
+        if (delta * delta <= best.dist2)
             nearestRec(far_child, query, next, best);
     }
 
@@ -213,16 +261,13 @@ class KdTree
             return;
         const Node &n = nodes_[static_cast<std::size_t>(node)];
         double d2 = squaredDistance(n.point, query);
-        auto worse = [](const KdHit &a, const KdHit &b) {
-            return a.dist2 < b.dist2;
-        };
         if (heap.size() < k) {
             heap.push_back(KdHit{n.id, d2});
-            std::push_heap(heap.begin(), heap.end(), worse);
-        } else if (d2 < heap.front().dist2) {
-            std::pop_heap(heap.begin(), heap.end(), worse);
+            std::push_heap(heap.begin(), heap.end(), kdHitLess);
+        } else if (kdHitBetter(d2, n.id, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), kdHitLess);
             heap.back() = KdHit{n.id, d2};
-            std::push_heap(heap.begin(), heap.end(), worse);
+            std::push_heap(heap.begin(), heap.end(), kdHitLess);
         }
 
         double delta = query[axis] - n.point[axis];
@@ -233,7 +278,8 @@ class KdTree
         double worst = heap.size() < k
                            ? std::numeric_limits<double>::max()
                            : heap.front().dist2;
-        if (delta * delta < worst)
+        // <= for the same tie-break reason as nearestRec.
+        if (delta * delta <= worst)
             kNearestRec(far_child, query, next, k, heap);
     }
 

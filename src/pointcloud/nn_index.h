@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Engine-dispatching nearest-neighbor indexes.
+ *
+ * Thin wrappers that hold either the bucket engine (bucket_kdtree.h) or
+ * the reference node engine (kdtree.h / dyn_kdtree.h) and forward each
+ * call to whichever the caller selected at construction. Because both
+ * engines implement the exact (dist2, id) contract, consumers can treat
+ * the choice as a pure performance knob (--nn {bucket,node}).
+ *
+ * The dispatch is one predictable branch per query — noise next to the
+ * traversal itself — which keeps the planners' code free of engine
+ * template parameters (the arm planners pick the engine at runtime from
+ * their config structs).
+ */
+
+#ifndef RTR_POINTCLOUD_NN_INDEX_H
+#define RTR_POINTCLOUD_NN_INDEX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pointcloud/bucket_kdtree.h"
+#include "pointcloud/dyn_kdtree.h"
+#include "pointcloud/kdtree.h"
+#include "pointcloud/nn_engine.h"
+
+namespace rtr {
+
+/**
+ * Runtime-dimension NN index for the sampling-based arm planners
+ * (joint-space queries where DoF is a command-line parameter).
+ */
+class DynNnIndex
+{
+  public:
+    DynNnIndex(std::size_t dim, NnEngine engine)
+        : engine_(engine), node_(dim), bucket_(dim)
+    {
+    }
+
+    NnEngine engine() const { return engine_; }
+    std::size_t dim() const { return bucket_.dim(); }
+
+    std::size_t
+    size() const
+    {
+        return engine_ == NnEngine::Bucket ? bucket_.size()
+                                           : node_.size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    void
+    clear()
+    {
+        if (engine_ == NnEngine::Bucket)
+            bucket_.clear();
+        else
+            node_.clear();
+    }
+
+    /** Insert a point (length dim()) with a payload id. */
+    void
+    insert(const std::vector<double> &p, std::uint32_t id)
+    {
+        if (engine_ == NnEngine::Bucket)
+            bucket_.insert(p, id);
+        else
+            node_.insert(p, id);
+    }
+
+    /** Bulk-build from n points with ids 0..n-1 (discards contents). */
+    void
+    build(const std::vector<std::vector<double>> &points)
+    {
+        if (engine_ == NnEngine::Bucket) {
+            bucket_.build(points);
+            return;
+        }
+        node_.clear();
+        for (std::size_t i = 0; i < points.size(); ++i)
+            node_.insert(points[i], static_cast<std::uint32_t>(i));
+    }
+
+    /** Nearest stored point; index must be non-empty. */
+    KdHit
+    nearest(const std::vector<double> &query) const
+    {
+        return engine_ == NnEngine::Bucket ? bucket_.nearest(query)
+                                           : node_.nearest(query);
+    }
+
+    /** The k nearest points, sorted by (dist2, id). */
+    std::vector<KdHit>
+    kNearest(const std::vector<double> &query, std::size_t k) const
+    {
+        return engine_ == NnEngine::Bucket ? bucket_.kNearest(query, k)
+                                           : node_.kNearest(query, k);
+    }
+
+    /** kNearest into a reusable buffer (cleared first). */
+    void
+    kNearestInto(const std::vector<double> &query, std::size_t k,
+                 std::vector<KdHit> &out) const
+    {
+        if (engine_ == NnEngine::Bucket)
+            bucket_.kNearestInto(query, k, out);
+        else
+            node_.kNearestInto(query, k, out);
+    }
+
+    /** All points within the radius, sorted by (dist2, id). */
+    std::vector<KdHit>
+    radiusSearch(const std::vector<double> &query, double radius) const
+    {
+        return engine_ == NnEngine::Bucket
+                   ? bucket_.radiusSearch(query, radius)
+                   : node_.radiusSearch(query, radius);
+    }
+
+    /** radiusSearch into a reusable buffer (cleared first). */
+    void
+    radiusSearchInto(const std::vector<double> &query, double radius,
+                     std::vector<KdHit> &out) const
+    {
+        if (engine_ == NnEngine::Bucket)
+            bucket_.radiusSearchInto(query, radius, out);
+        else
+            node_.radiusSearchInto(query, radius, out);
+    }
+
+  private:
+    NnEngine engine_;
+    DynKdTree node_;
+    DynBucketKdTree bucket_;
+};
+
+} // namespace rtr
+
+#endif // RTR_POINTCLOUD_NN_INDEX_H

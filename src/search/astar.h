@@ -33,6 +33,8 @@ struct AStarResult
     std::size_t expanded = 0;
     /** Number of successor states generated. */
     std::size_t generated = 0;
+    /** Largest open-list size reached (includes stale lazy entries). */
+    std::size_t peak_open = 0;
 };
 
 /** Problem definition for the generic A*. */
@@ -86,9 +88,11 @@ astarSearch(const State &start, const AStarProblem<State> &problem)
     };
 
     MinHeap<std::uint32_t> open;
+    open.reserve(1024);
     std::uint32_t start_id = intern(start);
     info[start_id].g = 0.0;
     open.push(problem.epsilon * problem.heuristic(start), start_id);
+    result.peak_open = open.size();
 
     std::vector<std::pair<State, double>> succ;
     while (!open.empty()) {
@@ -132,6 +136,10 @@ astarSearch(const State &start, const AStarProblem<State> &problem)
                           next_id);
             }
         }
+        // The heap only grows inside the successor loop, so sampling
+        // once per expansion captures the true peak.
+        if (open.size() > result.peak_open)
+            result.peak_open = open.size();
     }
     return result;
 }

@@ -88,6 +88,7 @@ GridPlanner2D::plan(const Cell2 &start, const Cell2 &goal, double epsilon,
     g[index(start)] = 0.0;
     open.push(epsilon * heuristic(start),
               static_cast<std::uint32_t>(index(start)));
+    result.peak_open = open.size();
 
     while (!open.empty()) {
         auto [key, id] = open.pop();
@@ -137,6 +138,10 @@ GridPlanner2D::plan(const Cell2 &start, const Cell2 &goal, double epsilon,
                           static_cast<std::uint32_t>(next_id));
             }
         }
+        // The heap only grows inside the successor loop, so sampling
+        // once per expansion captures the true peak.
+        if (open.size() > result.peak_open)
+            result.peak_open = open.size();
     }
     return result;
 }

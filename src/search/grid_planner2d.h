@@ -29,6 +29,8 @@ struct GridPlan2D
     std::size_t expanded = 0;
     /** Footprint / cell collision queries performed. */
     std::size_t collision_checks = 0;
+    /** Largest open-list size reached (includes stale lazy entries). */
+    std::size_t peak_open = 0;
 };
 
 /**

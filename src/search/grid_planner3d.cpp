@@ -82,6 +82,7 @@ GridPlanner3D::plan(const Cell3 &start, const Cell3 &goal, double epsilon,
     g[index(start)] = 0.0;
     open.push(epsilon * heuristic(start),
               static_cast<std::uint32_t>(index(start)));
+    result.peak_open = open.size();
 
     while (!open.empty()) {
         auto [key, id] = open.pop();
@@ -132,6 +133,10 @@ GridPlanner3D::plan(const Cell3 &start, const Cell3 &goal, double epsilon,
                           static_cast<std::uint32_t>(next_id));
             }
         }
+        // The heap only grows inside the successor loop, so sampling
+        // once per expansion captures the true peak.
+        if (open.size() > result.peak_open)
+            result.peak_open = open.size();
     }
     return result;
 }

@@ -31,6 +31,8 @@ struct GridPlan3D
     std::size_t expanded = 0;
     /** Cell collision queries performed. */
     std::size_t collision_checks = 0;
+    /** Largest open-list size reached (includes stale lazy entries). */
+    std::size_t peak_open = 0;
 };
 
 /** 26-connected point-robot planner over a 3-D occupancy grid. */
