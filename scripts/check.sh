@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Local CI: build + ctest across the sanitizer matrix.
 #
-#   scripts/check.sh              # release + asan + ubsan + tsan + scalar + nn-node
+#   scripts/check.sh              # release asan ubsan tsan scalar nn-node batch-scalar
 #   scripts/check.sh release asan # just those variants
 #
 # Each variant uses its own build tree (build-check-<variant>) so the
@@ -13,14 +13,16 @@
 # stays green. The nn-node variant reruns the full suite with
 # RTR_NN_ENGINE=node so the reference nearest-neighbor engine (the
 # default is the leaf-bucketed one) stays green too; it reuses the
-# release build tree.
+# release build tree. The batch-scalar variant does the same with
+# RTR_BATCH_ENGINE=scalar, keeping the reference rollout engine (the
+# default is the SoA batch engine) green.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 variants=("$@")
 if [ ${#variants[@]} -eq 0 ]; then
-    variants=(release asan ubsan tsan scalar nn-node)
+    variants=(release asan ubsan tsan scalar nn-node batch-scalar)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
@@ -34,6 +36,8 @@ for variant in "${variants[@]}"; do
       release) ;;
       nn-node) dir="build-check-release"
                env_vars=(RTR_NN_ENGINE=node) ;;
+      batch-scalar) dir="build-check-release"
+               env_vars=(RTR_BATCH_ENGINE=scalar) ;;
       asan)  cmake_args+=(-DRTR_ASAN=ON) ;;
       ubsan) cmake_args+=(-DRTR_UBSAN=ON) ;;
       tsan)  cmake_args+=(-DRTR_TSAN=ON)

@@ -53,6 +53,12 @@ class BallThrowEnv
 
     double goalDistance() const { return goal_distance_; }
 
+    /** Model constants (the batched evaluator mirrors the kinematics). */
+    double shoulderHeight() const { return shoulder_height_; }
+    double upperArmLength() const { return l1_; }
+    double forearmLength() const { return l2_; }
+    double gravity() const { return gravity_; }
+
   private:
     double goal_distance_;
     double shoulder_height_ = 1.0;

@@ -1,0 +1,424 @@
+#include "control/batch_env.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "geom/angle.h"
+#include "telemetry/trace.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/simd.h"
+
+namespace rtr {
+
+using simd::VecD;
+
+namespace {
+
+constexpr std::size_t kW = VecD::kWidth;
+
+/** Scalar-reference throw evaluation of one environment. */
+void
+evaluateThrowOne(const BallThrowEnv &env, double theta1, double theta2,
+                 double speed, double *reward, double *trace64)
+{
+    thread_local std::vector<double> params;
+    params.assign({theta1, theta2, speed});
+    *reward = env.evaluate(params);
+    if (trace64) {
+        const std::array<double, 64> t = env.flightTrace(params);
+        std::memcpy(trace64, t.data(), sizeof(double) * t.size());
+    }
+}
+
+/**
+ * One full-width throw tile: mirrors BallThrowEnv::landingPoint /
+ * evaluate / flightTrace expression-for-expression (the comments in
+ * ball_throw.cpp are the reference). cos/sin are scalar libm calls per
+ * lane; the projectile arithmetic runs in VecD lanes. Lanes released
+ * underground (ry <= 0) are patched to the scalar branch's values
+ * before the reward/trace are produced.
+ */
+void
+throwTileSoa(const BallThrowEnv &env, const double *theta1,
+             const double *theta2, const double *speed, double *rewards,
+             double *traces)
+{
+    const double goal = env.goalDistance();
+    const VecD l1 = VecD::broadcast(env.upperArmLength());
+    const VecD l2 = VecD::broadcast(env.forearmLength());
+    const VecD sh = VecD::broadcast(env.shoulderHeight());
+    const VecD g = VecD::broadcast(env.gravity());
+    const VecD two_g = VecD::broadcast(2.0 * env.gravity());
+    const VecD half_g = VecD::broadcast(0.5 * env.gravity());
+
+    double c1[kW], s1[kW], c12[kW], s12[kW];
+    for (std::size_t e = 0; e < kW; ++e) {
+        const double phi = theta1[e] + theta2[e];
+        c1[e] = std::cos(theta1[e]);
+        s1[e] = std::sin(theta1[e]);
+        c12[e] = std::cos(phi);
+        s12[e] = std::sin(phi);
+    }
+
+    const VecD sp = VecD::load(speed);
+    const VecD c12v = VecD::load(c12);
+    const VecD s12v = VecD::load(s12);
+    // rx = l1*cos(t1) + l2*cos(t1+t2); ry = sh + l1*sin(t1) + l2*sin(..).
+    const VecD rx = VecD::mulAdd(l1 * VecD::load(c1), l2, c12v);
+    const VecD ry =
+        VecD::mulAdd(VecD::mulAdd(sh, l1, VecD::load(s1)), l2, s12v);
+    const VecD vx = sp * c12v;
+    const VecD vy = sp * s12v;
+    // disc = vy*vy + 2*g*ry; t_land = (vy + sqrt(disc)) / g.
+    const VecD disc = VecD::mulAdd(vy * vy, two_g, ry);
+    const VecD t_land = (vy + VecD::sqrt(disc)) / g;
+    const VecD land = VecD::mulAdd(rx, vx, t_land);
+
+    double rx_a[kW], ry_a[kW], land_a[kW], tl_a[kW];
+    rx.store(rx_a);
+    ry.store(ry_a);
+    land.store(land_a);
+    t_land.store(tl_a);
+    for (std::size_t e = 0; e < kW; ++e) {
+        if (ry_a[e] <= 0.0) {
+            land_a[e] = rx_a[e]; // released underground: lands in place
+            tl_a[e] = 0.0;
+        }
+        rewards[e] = -std::abs(land_a[e] - goal);
+    }
+
+    if (!traces) {
+        return;
+    }
+    const VecD tl = VecD::load(tl_a);
+    const VecD c31 = VecD::broadcast(31.0);
+    double lane[kW];
+    for (int i = 0; i < 32; ++i) {
+        // t = t_land * i / 31; x = rx + vx*t; y = ry + vy*t - 0.5*g*t*t.
+        const VecD t =
+            tl * VecD::broadcast(static_cast<double>(i)) / c31;
+        const VecD px = VecD::mulAdd(rx, vx, t);
+        const VecD py = VecD::mulSub(VecD::mulAdd(ry, vy, t), half_g * t, t);
+        px.store(lane);
+        for (std::size_t e = 0; e < kW; ++e)
+            traces[e * 64 + static_cast<std::size_t>(2 * i)] = lane[e];
+        py.store(lane);
+        for (std::size_t e = 0; e < kW; ++e)
+            traces[e * 64 + static_cast<std::size_t>(2 * i + 1)] = lane[e];
+    }
+}
+
+/** Scalar-reference unicycle step applied in place to SoA slot e. */
+inline void
+stepOneEnv(UnicycleBatch &state, std::size_t e, double v_cmd,
+           double omega_cmd, double dt)
+{
+    UnicycleState s;
+    s.x = state.x[e];
+    s.y = state.y[e];
+    s.theta = state.theta[e];
+    s.v = state.v[e];
+    s = MpcController::step(s, v_cmd, omega_cmd, dt);
+    state.x[e] = s.x;
+    state.y[e] = s.y;
+    state.theta[e] = s.theta;
+    state.v[e] = s.v;
+}
+
+} // namespace
+
+void
+evaluateThrowBatch(const BallThrowEnv &env, const double *theta1,
+                   const double *theta2, const double *speed,
+                   std::size_t count, double *rewards, double *traces,
+                   BatchEngine engine)
+{
+    std::size_t i = 0;
+    if (engine == BatchEngine::Soa) {
+        for (; i + kW <= count; i += kW)
+            throwTileSoa(env, theta1 + i, theta2 + i, speed + i,
+                         rewards + i, traces ? traces + i * 64 : nullptr);
+    }
+    // Scalar engine, and the soa engine's remainder lanes.
+    for (; i < count; ++i)
+        evaluateThrowOne(env, theta1[i], theta2[i], speed[i], rewards + i,
+                         traces ? traces + i * 64 : nullptr);
+}
+
+void
+ThrowSampleEvaluator::evaluate(CemSample *samples, std::size_t count) const
+{
+    if (engine_ == BatchEngine::Scalar) {
+        for (std::size_t s = 0; s < count; ++s) {
+            samples[s].reward = env_.evaluate(samples[s].params);
+            if (with_trace_)
+                samples[s].trace = env_.flightTrace(samples[s].params);
+        }
+        return;
+    }
+
+    telemetry::TraceSpan span("batch-rollout");
+    thread_local std::vector<double> t1, t2, sp, rewards, traces;
+    t1.resize(count);
+    t2.resize(count);
+    sp.resize(count);
+    rewards.resize(count);
+    if (with_trace_)
+        traces.resize(count * 64);
+    for (std::size_t s = 0; s < count; ++s) {
+        RTR_ASSERT(samples[s].params.size() == BallThrowEnv::kParamCount,
+                   "throw samples carry 3 parameters");
+        t1[s] = samples[s].params[0];
+        t2[s] = samples[s].params[1];
+        sp[s] = samples[s].params[2];
+    }
+    evaluateThrowBatch(env_, t1.data(), t2.data(), sp.data(), count,
+                       rewards.data(),
+                       with_trace_ ? traces.data() : nullptr,
+                       BatchEngine::Soa);
+    for (std::size_t s = 0; s < count; ++s) {
+        samples[s].reward = rewards[s];
+        if (with_trace_)
+            std::memcpy(samples[s].trace.data(), traces.data() + s * 64,
+                        sizeof(double) * 64);
+    }
+}
+
+void
+UnicycleBatch::assign(std::size_t count, const UnicycleState &state)
+{
+    x.assign(count, state.x);
+    y.assign(count, state.y);
+    theta.assign(count, state.theta);
+    v.assign(count, state.v);
+}
+
+void
+stepUnicycleBatch(UnicycleBatch &state, const double *v_cmd,
+                  const double *omega_cmd, double dt, BatchEngine engine)
+{
+    const std::size_t n = state.size();
+    std::size_t e = 0;
+    if (engine == BatchEngine::Soa) {
+        const VecD dtv = VecD::broadcast(dt);
+        double c[kW], s[kW];
+        for (; e + kW <= n; e += kW) {
+            for (std::size_t l = 0; l < kW; ++l) {
+                c[l] = std::cos(state.theta[e + l]);
+                s[l] = std::sin(state.theta[e + l]);
+            }
+            // x += v*dt*cos(theta); y += v*dt*sin(theta).
+            const VecD vdt = VecD::load(v_cmd + e) * dtv;
+            VecD::mulAdd(VecD::load(state.x.data() + e), vdt,
+                         VecD::load(c))
+                .store(state.x.data() + e);
+            VecD::mulAdd(VecD::load(state.y.data() + e), vdt,
+                         VecD::load(s))
+                .store(state.y.data() + e);
+            for (std::size_t l = 0; l < kW; ++l)
+                state.theta[e + l] = normalizeAngle(state.theta[e + l] +
+                                                    omega_cmd[e + l] * dt);
+            std::memcpy(state.v.data() + e, v_cmd + e,
+                        sizeof(double) * kW);
+        }
+    }
+    // Scalar engine, and the soa engine's remainder lanes.
+    for (; e < n; ++e)
+        stepOneEnv(state, e, v_cmd[e], omega_cmd[e], dt);
+}
+
+double
+unicycleRolloutCost(const MpcConfig &config, const UnicycleState &start,
+                    const std::vector<Vec2> &reference,
+                    const std::vector<double> &v,
+                    const std::vector<double> &omega)
+{
+    double cost = 0.0;
+    UnicycleState state = start;
+    double prev_v = start.v;
+    for (std::size_t k = 0; k < v.size(); ++k) {
+        state = MpcController::step(state, v[k], omega[k], config.dt);
+        const Vec2 &ref = reference[std::min(k, reference.size() - 1)];
+        double dx = state.x - ref.x;
+        double dy = state.y - ref.y;
+        cost += config.w_tracking * (dx * dx + dy * dy);
+        cost += config.w_effort * (v[k] * v[k] + omega[k] * omega[k]);
+        double dv = v[k] - prev_v;
+        cost += config.w_smooth * dv * dv;
+        // Soft acceleration-limit penalty (velocity/turn-rate limits
+        // are enforced by projection).
+        double acc = std::abs(dv) / config.dt;
+        if (acc > config.a_max)
+            cost += 50.0 * (acc - config.a_max) * (acc - config.a_max);
+        prev_v = v[k];
+    }
+    return cost;
+}
+
+void
+unicycleRolloutCostBatch(const MpcConfig &config,
+                         const UnicycleState *starts,
+                         const std::vector<Vec2> &reference,
+                         const double *v, const double *omega,
+                         std::size_t horizon, std::size_t count,
+                         double *costs, BatchEngine engine)
+{
+    RTR_ASSERT(!reference.empty(), "rollout needs a reference");
+    thread_local std::vector<double> env_v, env_omega;
+    auto rolloutOne = [&](std::size_t e) {
+        env_v.resize(horizon);
+        env_omega.resize(horizon);
+        for (std::size_t k = 0; k < horizon; ++k) {
+            env_v[k] = v[k * count + e];
+            env_omega[k] = omega[k * count + e];
+        }
+        costs[e] = unicycleRolloutCost(config, starts[e], reference,
+                                       env_v, env_omega);
+    };
+
+    std::size_t done = 0;
+    if (engine == BatchEngine::Soa) {
+        const VecD dtv = VecD::broadcast(config.dt);
+        const VecD wtv = VecD::broadcast(config.w_tracking);
+        const VecD wev = VecD::broadcast(config.w_effort);
+        const VecD wsv = VecD::broadcast(config.w_smooth);
+        const VecD amaxv = VecD::broadcast(config.a_max);
+        const VecD fiftyv = VecD::broadcast(50.0);
+        for (std::size_t o = 0; o + kW <= count; o += kW) {
+            double xb[kW], yb[kW], th[kW], pv[kW], cb[kW], sb[kW];
+            for (std::size_t l = 0; l < kW; ++l) {
+                xb[l] = starts[o + l].x;
+                yb[l] = starts[o + l].y;
+                th[l] = starts[o + l].theta;
+                pv[l] = starts[o + l].v;
+            }
+            VecD xv = VecD::load(xb);
+            VecD yv = VecD::load(yb);
+            VecD prevv = VecD::load(pv);
+            VecD costv = VecD::zero();
+            for (std::size_t k = 0; k < horizon; ++k) {
+                const double *vk = v + k * count + o;
+                const double *wk = omega + k * count + o;
+                for (std::size_t l = 0; l < kW; ++l) {
+                    cb[l] = std::cos(th[l]);
+                    sb[l] = std::sin(th[l]);
+                }
+                const VecD vkv = VecD::load(vk);
+                const VecD vdt = vkv * dtv;
+                xv = VecD::mulAdd(xv, vdt, VecD::load(cb));
+                yv = VecD::mulAdd(yv, vdt, VecD::load(sb));
+                for (std::size_t l = 0; l < kW; ++l)
+                    th[l] = normalizeAngle(th[l] + wk[l] * config.dt);
+
+                const Vec2 &ref =
+                    reference[std::min(k, reference.size() - 1)];
+                // cost += w_tracking * (dx*dx + dy*dy)
+                const VecD dxv = xv - VecD::broadcast(ref.x);
+                const VecD dyv = yv - VecD::broadcast(ref.y);
+                costv = VecD::mulAdd(costv, wtv,
+                                     VecD::mulAdd(dxv * dxv, dyv, dyv));
+                // cost += w_effort * (v*v + omega*omega)
+                const VecD wkv = VecD::load(wk);
+                costv = VecD::mulAdd(costv, wev,
+                                     VecD::mulAdd(vkv * vkv, wkv, wkv));
+                // cost += w_smooth * dv * dv
+                const VecD dvv = vkv - prevv;
+                costv = costv + (wsv * dvv) * dvv;
+                // if (|dv|/dt > a_max) cost += 50*(acc-a_max)^2 — the
+                // blend keeps unpenalized lanes' accumulators bitwise
+                // untouched, and NaN accelerations fail cmpGT exactly
+                // like the scalar `if`.
+                const VecD accv = VecD::abs(dvv) / dtv;
+                const VecD dav = accv - amaxv;
+                const VecD penv = VecD::mulAdd(costv, fiftyv * dav, dav);
+                costv = VecD::select(VecD::cmpGT(accv, amaxv), penv,
+                                     costv);
+                prevv = vkv;
+            }
+            costv.store(costs + o);
+        }
+        done = count - count % kW;
+    }
+    // Scalar engine, and the soa engine's remainder lanes.
+    for (std::size_t e = done; e < count; ++e)
+        rolloutOne(e);
+}
+
+void
+mpcCentralDiffGradient(const MpcConfig &config, const UnicycleState &start,
+                       const std::vector<Vec2> &reference,
+                       const std::vector<double> &v,
+                       const std::vector<double> &omega, double fd_eps,
+                       std::vector<double> &grad_v,
+                       std::vector<double> &grad_omega)
+{
+    const std::size_t h = v.size();
+    telemetry::TraceSpan span("batch-rollout");
+
+    if (config.batch_engine == BatchEngine::Scalar) {
+        // Preserved reference: the four rollouts behind each horizon
+        // step run one at a time on copies of the nominal controls;
+        // every chunk perturbs exactly one entry at a time, giving the
+        // same rollouts (and bitwise the same gradient) as sequential
+        // in-place perturbation.
+        parallelForChunks(0, h, 1, [&](const ChunkRange &chunk) {
+            std::vector<double> pv = v;
+            std::vector<double> pomega = omega;
+            for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+                double saved = pv[k];
+                pv[k] = saved + fd_eps;
+                double up = unicycleRolloutCost(config, start, reference,
+                                                pv, pomega);
+                pv[k] = saved - fd_eps;
+                double down = unicycleRolloutCost(config, start,
+                                                  reference, pv, pomega);
+                pv[k] = saved;
+                grad_v[k] = (up - down) / (2.0 * fd_eps);
+
+                saved = pomega[k];
+                pomega[k] = saved + fd_eps;
+                up = unicycleRolloutCost(config, start, reference, pv,
+                                         pomega);
+                pomega[k] = saved - fd_eps;
+                down = unicycleRolloutCost(config, start, reference, pv,
+                                           pomega);
+                pomega[k] = saved;
+                grad_omega[k] = (up - down) / (2.0 * fd_eps);
+            }
+        });
+        return;
+    }
+
+    // Soa: the four perturbed rollouts of a coordinate are four
+    // independent environments — one SoA batch whose lanes are
+    // (v+eps, v-eps, omega+eps, omega-eps), each seeing the nominal
+    // controls everywhere except its own coordinate.
+    parallelForChunks(0, h, 1, [&](const ChunkRange &chunk) {
+        thread_local std::vector<double> vbuf, wbuf;
+        vbuf.resize(h * 4);
+        wbuf.resize(h * 4);
+        const UnicycleState starts[4] = {start, start, start, start};
+        double costs[4];
+        for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+            for (std::size_t j = 0; j < h; ++j) {
+                for (std::size_t l = 0; l < 4; ++l) {
+                    vbuf[j * 4 + l] = v[j];
+                    wbuf[j * 4 + l] = omega[j];
+                }
+            }
+            vbuf[k * 4 + 0] = v[k] + fd_eps;
+            vbuf[k * 4 + 1] = v[k] - fd_eps;
+            wbuf[k * 4 + 2] = omega[k] + fd_eps;
+            wbuf[k * 4 + 3] = omega[k] - fd_eps;
+            unicycleRolloutCostBatch(config, starts, reference,
+                                     vbuf.data(), wbuf.data(), h, 4,
+                                     costs, BatchEngine::Soa);
+            grad_v[k] = (costs[0] - costs[1]) / (2.0 * fd_eps);
+            grad_omega[k] = (costs[2] - costs[3]) / (2.0 * fd_eps);
+        }
+    });
+}
+
+} // namespace rtr

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "telemetry/trace.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace rtr {
 
@@ -75,21 +77,75 @@ BayesOpt::optimize(
         best.acquisition = -std::numeric_limits<double>::max();
         {
             ScopedPhase phase(profiler, "acquisition");
-            std::vector<double> candidate(dims);
-            for (int c = 0; c < config_.candidates_per_iteration; ++c) {
+            telemetry::TraceSpan span("batch-acquisition");
+            const auto n_cand = static_cast<std::size_t>(
+                config_.candidates_per_iteration);
+
+            // Stage every candidate draw from the caller's stream in
+            // the scalar evaluation order (candidate-major, dimension-
+            // minor) before any scoring, so the stream position after
+            // this phase is engine-independent — the RNG staging
+            // contract (DESIGN.md "Batched environments").
+            thread_local std::vector<double> cand, mean_buf, var_buf;
+            cand.resize(n_cand * dims);
+            mean_buf.resize(n_cand);
+            var_buf.resize(n_cand);
+            for (std::size_t c = 0; c < n_cand; ++c)
                 for (std::size_t d = 0; d < dims; ++d)
-                    candidate[d] = rng.uniform(lo[d], hi[d]);
-                GpPrediction pred = gp.predict(candidate);
-                double ucb = pred.mean +
-                             config_.ucb_kappa * std::sqrt(pred.variance);
+                    cand[c * dims + d] = rng.uniform(lo[d], hi[d]);
+
+            // Score chunks of candidates on the parallel runtime: each
+            // chunk is one predictBatch SoA batch (soa engine) or a
+            // run of predict() calls (scalar reference); both write
+            // disjoint mean/variance slots. The buffers' data pointers
+            // are captured by value: the vectors are thread_local,
+            // which a lambda does not capture — workers would resolve
+            // the names to their own (empty) instances.
+            const BatchEngine engine = config_.batch_engine;
+            const double *const cand_p = cand.data();
+            double *const mean_p = mean_buf.data();
+            double *const var_p = var_buf.data();
+            parallelForChunks(0, n_cand, 0, [&, cand_p, mean_p, var_p,
+                                             engine, dims](
+                                                const ChunkRange &chunk) {
+                if (engine == BatchEngine::Soa) {
+                    gp.predictBatch(cand_p + chunk.begin * dims,
+                                    chunk.end - chunk.begin, dims,
+                                    mean_p + chunk.begin,
+                                    var_p + chunk.begin);
+                    return;
+                }
+                thread_local std::vector<double> query;
+                query.resize(dims);
+                for (std::size_t c = chunk.begin; c < chunk.end; ++c) {
+                    for (std::size_t d = 0; d < dims; ++d)
+                        query[d] = cand_p[c * dims + d];
+                    GpPrediction pred = gp.predict(query);
+                    mean_p[c] = pred.mean;
+                    var_p[c] = pred.variance;
+                }
+            });
+
+            // Serial first-strict-max argmax in candidate order: ties
+            // resolve exactly as the sequential scan did.
+            std::size_t best_c = 0;
+            for (std::size_t c = 0; c < n_cand; ++c) {
+                double ucb = mean_buf[c] +
+                             config_.ucb_kappa * std::sqrt(var_buf[c]);
                 ++result.acquisition_evals;
                 if (ucb > best.acquisition) {
                     best.acquisition = ucb;
-                    best.params = candidate;
-                    best.predicted_mean = pred.mean;
-                    best.predicted_variance = pred.variance;
+                    best_c = c;
+                    best.predicted_mean = mean_buf[c];
+                    best.predicted_variance = var_buf[c];
                 }
             }
+            best.params.assign(cand.begin() +
+                                   static_cast<std::ptrdiff_t>(best_c *
+                                                               dims),
+                               cand.begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       (best_c + 1) * dims));
             best.iteration = iter;
             // Kernel-row cache against the existing observations (part
             // of the per-record GP metadata).

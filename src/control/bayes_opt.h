@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "control/gaussian_process.h"
+#include "util/batch_engine.h"
 #include "util/profiler.h"
 #include "util/rng.h"
 
@@ -34,6 +35,15 @@ struct BoConfig
     double ucb_kappa = 2.0;
     /** Random seed observations before the GP loop starts. */
     int seed_observations = 5;
+    /**
+     * How candidates are scored: soa evaluates whole chunks through
+     * GaussianProcess::predictBatch (SIMD across candidates), scalar
+     * one predict() call at a time — identical UCB argmax either way.
+     * Candidate draws are staged from the caller's stream in scalar
+     * order before scoring under both engines (the RNG staging
+     * contract, DESIGN.md "Batched environments").
+     */
+    BatchEngine batch_engine = defaultBatchEngine();
     /** GP hyperparameters. */
     GpConfig gp;
 };

@@ -5,8 +5,39 @@
 
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
 namespace rtr {
+
+namespace {
+
+/** Adapts the per-sample reward/trace closures to the batched API. */
+class FnSampleEvaluator final : public CemSampleEvaluator
+{
+  public:
+    FnSampleEvaluator(
+        const std::function<double(const std::vector<double> &)> &reward,
+        const CemTraceFn &trace)
+        : reward_(reward), trace_(trace)
+    {
+    }
+
+    void
+    evaluate(CemSample *samples, std::size_t count) const override
+    {
+        for (std::size_t s = 0; s < count; ++s) {
+            samples[s].reward = reward_(samples[s].params);
+            if (trace_)
+                samples[s].trace = trace_(samples[s].params);
+        }
+    }
+
+  private:
+    const std::function<double(const std::vector<double> &)> &reward_;
+    const CemTraceFn &trace_;
+};
+
+} // namespace
 
 CemOptimizer::CemOptimizer(const CemConfig &config) : config_(config)
 {
@@ -20,6 +51,16 @@ CemOptimizer::optimize(
     const std::function<double(const std::vector<double> &)> &reward,
     const std::vector<double> &lo, const std::vector<double> &hi, Rng &rng,
     PhaseProfiler *profiler, const CemTraceFn &trace) const
+{
+    FnSampleEvaluator evaluator(reward, trace);
+    return optimize(evaluator, lo, hi, rng, profiler);
+}
+
+CemResult
+CemOptimizer::optimize(const CemSampleEvaluator &evaluator,
+                       const std::vector<double> &lo,
+                       const std::vector<double> &hi, Rng &rng,
+                       PhaseProfiler *profiler) const
 {
     RTR_ASSERT(lo.size() == hi.size() && !lo.empty(),
                "bad parameter bounds");
@@ -35,14 +76,23 @@ CemOptimizer::optimize(
         stddev[d] = config_.init_std_fraction * (hi[d] - lo[d]);
     }
 
-    std::vector<CemSample> samples(
-        static_cast<std::size_t>(config_.samples_per_iteration));
+    // The sample pool is thread_local: one learning episode is only a
+    // few dozen evaluations and the kernels re-run thousands of them,
+    // so a per-episode pool (and the per-sample params vectors inside
+    // it) would be reallocated constantly. The pool keeps its capacity
+    // across optimize() calls; every field read below is overwritten
+    // first.
+    thread_local std::vector<CemSample> pool;
+    const auto n_samples =
+        static_cast<std::size_t>(config_.samples_per_iteration);
+    if (pool.size() < n_samples)
+        pool.resize(n_samples);
 
     for (int iter = 0; iter < config_.iterations; ++iter) {
         {
             ScopedPhase phase(profiler, "sample");
             for (int s = 0; s < config_.samples_per_iteration; ++s) {
-                CemSample &sample = samples[static_cast<std::size_t>(s)];
+                CemSample &sample = pool[static_cast<std::size_t>(s)];
                 sample.params.resize(dims);
                 for (std::size_t d = 0; d < dims; ++d) {
                     double value = rng.normal(mean[d], stddev[d]);
@@ -55,17 +105,24 @@ CemOptimizer::optimize(
 
         {
             ScopedPhase phase(profiler, "evaluate");
-            // Rollout scoring is the parallel phase: each sample's
-            // reward/trace writes only its own record. The best-so-far
+            // Rollout scoring is the parallel phase: a chunk of samples
+            // is the batch handed to the evaluator, which writes only
+            // its own records (SIMD lanes advance the environments of a
+            // chunk together under the soa engine). The best-so-far
             // bookkeeping runs serially in sample order below, so ties
-            // resolve exactly as in sequential execution.
-            parallelFor(0, samples.size(), 1, [&](std::size_t s) {
-                CemSample &sample = samples[s];
-                sample.reward = reward(sample.params);
-                if (trace)
-                    sample.trace = trace(sample.params);
-            });
-            for (CemSample &sample : samples) {
+            // resolve exactly as in sequential execution. The pool's
+            // data pointer is captured by value: `pool` is thread_local,
+            // which a lambda does not capture — workers would resolve
+            // the name to their own (empty) instance.
+            CemSample *const records = pool.data();
+            parallelForChunks(
+                0, n_samples, simd::VecD::kWidth,
+                [records, &evaluator](const ChunkRange &chunk) {
+                    evaluator.evaluate(records + chunk.begin,
+                                       chunk.end - chunk.begin);
+                });
+            for (std::size_t s = 0; s < n_samples; ++s) {
+                CemSample &sample = pool[s];
                 ++result.evaluations;
                 result.reward_history.push_back(sample.reward);
                 if (sample.reward > result.best_reward) {
@@ -79,7 +136,8 @@ CemOptimizer::optimize(
             // The paper's sort bottleneck: order the full sample
             // records (parameters + metadata) by reward, descending.
             ScopedPhase phase(profiler, "sort");
-            std::sort(samples.begin(), samples.end(),
+            std::sort(pool.begin(),
+                      pool.begin() + static_cast<std::ptrdiff_t>(n_samples),
                       [](const CemSample &a, const CemSample &b) {
                           return a.reward > b.reward;
                       });
@@ -91,11 +149,11 @@ CemOptimizer::optimize(
             for (std::size_t d = 0; d < dims; ++d) {
                 double sum = 0.0;
                 for (std::size_t e = 0; e < n_elite; ++e)
-                    sum += samples[e].params[d];
+                    sum += pool[e].params[d];
                 double new_mean = sum / static_cast<double>(n_elite);
                 double var = 0.0;
                 for (std::size_t e = 0; e < n_elite; ++e) {
-                    double diff = samples[e].params[d] - new_mean;
+                    double diff = pool[e].params[d] - new_mean;
                     var += diff * diff;
                 }
                 mean[d] = new_mean;

@@ -56,6 +56,25 @@ struct CemSample
 using CemTraceFn = std::function<std::array<double, 64>(
     const std::vector<double> &)>;
 
+/**
+ * Batched sample evaluator: fills the reward (and, when it produces
+ * one, the trace) of a contiguous block of drawn samples. Each call
+ * receives one chunk of the parallel runtime's decomposition, so
+ * implementations may vectorize across the samples of a block (SoA
+ * batching, batch_env.h) but must write only the records they were
+ * handed. evaluate() runs concurrently from several threads when
+ * parallelThreads() > 1 and must be a pure function of the params.
+ */
+class CemSampleEvaluator
+{
+  public:
+    virtual ~CemSampleEvaluator() = default;
+
+    /** Score samples[0..count): set reward (and possibly trace). */
+    virtual void evaluate(CemSample *samples,
+                          std::size_t count) const = 0;
+};
+
 /** CEM outcome. */
 struct CemResult
 {
@@ -92,6 +111,18 @@ class CemOptimizer
                        const std::vector<double> &hi, Rng &rng,
                        PhaseProfiler *profiler = nullptr,
                        const CemTraceFn &trace = {}) const;
+
+    /**
+     * Batched overload: sample evaluation hands whole chunks of the
+     * sample pool to @p evaluator, so one chunk can be advanced as a
+     * SIMD-across-environments batch. Bitwise-identical to the
+     * functional overload when the evaluator computes the same
+     * reward/trace per sample.
+     */
+    CemResult optimize(const CemSampleEvaluator &evaluator,
+                       const std::vector<double> &lo,
+                       const std::vector<double> &hi, Rng &rng,
+                       PhaseProfiler *profiler = nullptr) const;
 
   private:
     CemConfig config_;

@@ -1,8 +1,10 @@
 #include "control/gaussian_process.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace rtr {
 
@@ -88,6 +90,93 @@ GaussianProcess::predict(const std::vector<double> &query) const
         reduction += ks[i] * vp[i];
     out.variance = std::max(0.0, kernel(query, query) - reduction);
     return out;
+}
+
+void
+GaussianProcess::predictBatch(const double *queries, std::size_t count,
+                              std::size_t dims, double *means,
+                              double *variances) const
+{
+    RTR_ASSERT(trained(), "predict before fit");
+    RTR_ASSERT(dims > 0, "queries need >= 1 dimension");
+    using simd::VecD;
+    const std::size_t n = inputs_.size();
+    // Same single multiply kernel() performs for the denominator.
+    const double ls2 = config_.length_scale * config_.length_scale;
+    const double sv = config_.signal_variance;
+    const double *alpha = alpha_.data();
+
+    thread_local Matrix k_star; // n x m: k(x_i, q_c), candidates as cols
+    thread_local Matrix sol;
+
+    // Candidate tiling bounds the workspace; 256 columns keep one K*
+    // row within a few cache lines while amortizing the solve.
+    constexpr std::size_t kTile = 256;
+    for (std::size_t base = 0; base < count; base += kTile) {
+        const std::size_t m = std::min(kTile, count - base);
+        k_star.resize(n, m);
+        double *ks = k_star.data();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::vector<double> &xi = inputs_[i];
+            double *row = ks + i * m;
+            for (std::size_t c = 0; c < m; ++c) {
+                const double *q = queries + (base + c) * dims;
+                double d2 = 0.0;
+                for (std::size_t d = 0; d < dims; ++d) {
+                    double diff = xi[d] - q[d];
+                    d2 += diff * diff;
+                }
+                row[c] = sv * std::exp(-0.5 * d2 / ls2);
+            }
+        }
+
+        chol_.solveInto(k_star, sol);
+        const double *sp = sol.data();
+
+        // k(q,q) mirrored as the zero-distance loop so non-finite
+        // queries degrade exactly as kernel(query, query) does.
+        auto kxxOf = [&](std::size_t c) {
+            const double *q = queries + c * dims;
+            double d2 = 0.0;
+            for (std::size_t d = 0; d < dims; ++d) {
+                double diff = q[d] - q[d];
+                d2 += diff * diff;
+            }
+            return sv * std::exp(-0.5 * d2 / ls2);
+        };
+
+        std::size_t c = 0;
+        for (; c + VecD::kWidth <= m; c += VecD::kWidth) {
+            VecD meanv = VecD::broadcast(target_mean_);
+            VecD redv = VecD::zero();
+            for (std::size_t i = 0; i < n; ++i) {
+                const VecD ksv = VecD::load(ks + i * m + c);
+                meanv = VecD::mulAdd(meanv, ksv,
+                                     VecD::broadcast(alpha[i]));
+                redv = VecD::mulAdd(redv, ksv,
+                                    VecD::load(sp + i * m + c));
+            }
+            double ml[VecD::kWidth], rl[VecD::kWidth];
+            meanv.store(ml);
+            redv.store(rl);
+            for (std::size_t l = 0; l < VecD::kWidth; ++l) {
+                const std::size_t cc = base + c + l;
+                means[cc] = ml[l];
+                variances[cc] = std::max(0.0, kxxOf(cc) - rl[l]);
+            }
+        }
+        for (; c < m; ++c) { // remainder candidates: scalar reference
+            double mean = target_mean_;
+            double red = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                mean += ks[i * m + c] * alpha[i];
+                red += ks[i * m + c] * sp[i * m + c];
+            }
+            const std::size_t cc = base + c;
+            means[cc] = mean;
+            variances[cc] = std::max(0.0, kxxOf(cc) - red);
+        }
+    }
 }
 
 } // namespace rtr

@@ -53,6 +53,20 @@ class GaussianProcess
     /** Predictive mean and variance at a query point. */
     GpPrediction predict(const std::vector<double> &query) const;
 
+    /**
+     * Batched predict(): fills means[c] and variances[c] for @p count
+     * query points stored row-major (count x dims). Bitwise-identical
+     * per query to predict(): the candidate k* vectors become columns
+     * of one K* matrix so the triangular solve runs once per tile
+     * (each column of the multi-RHS solve is bitwise the single-column
+     * solve), and the mean/variance reductions run in simd::VecD lanes
+     * across candidates with per-candidate accumulation order
+     * unchanged. Safe to call concurrently (thread-local workspaces).
+     */
+    void predictBatch(const double *queries, std::size_t count,
+                      std::size_t dims, double *means,
+                      double *variances) const;
+
     /** Number of training points. */
     std::size_t trainingSize() const { return inputs_.size(); }
 

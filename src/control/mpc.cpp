@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "control/batch_env.h"
 #include "geom/angle.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -66,34 +67,6 @@ MpcController::step(const UnicycleState &state, double v, double omega,
     return next;
 }
 
-double
-MpcController::rolloutCost(const UnicycleState &start,
-                           const std::vector<Vec2> &reference,
-                           const std::vector<double> &v,
-                           const std::vector<double> &omega) const
-{
-    double cost = 0.0;
-    UnicycleState state = start;
-    double prev_v = start.v;
-    for (std::size_t k = 0; k < v.size(); ++k) {
-        state = step(state, v[k], omega[k], config_.dt);
-        const Vec2 &ref = reference[std::min(k, reference.size() - 1)];
-        double dx = state.x - ref.x;
-        double dy = state.y - ref.y;
-        cost += config_.w_tracking * (dx * dx + dy * dy);
-        cost += config_.w_effort * (v[k] * v[k] + omega[k] * omega[k]);
-        double dv = v[k] - prev_v;
-        cost += config_.w_smooth * dv * dv;
-        // Soft acceleration-limit penalty (velocity/turn-rate limits
-        // are enforced by projection).
-        double acc = std::abs(dv) / config_.dt;
-        if (acc > config_.a_max)
-            cost += 50.0 * (acc - config_.a_max) * (acc - config_.a_max);
-        prev_v = v[k];
-    }
-    return cost;
-}
-
 MpcSolution
 MpcController::solve(const UnicycleState &current,
                      const std::vector<Vec2> &reference,
@@ -126,39 +99,21 @@ MpcController::solve(const UnicycleState &current,
     const double fd_eps = 1e-4;
     std::vector<double> grad_v(h), grad_omega(h);
     std::vector<double> trial_v(h), trial_omega(h);
-    double cost =
-        rolloutCost(current, reference, solution.v, solution.omega);
+    double cost = unicycleRolloutCost(config_, current, reference,
+                                      solution.v, solution.omega);
     ++solution.cost_evals;
     double step = config_.learning_rate;
 
     for (int iter = 0; iter < config_.opt_iterations; ++iter) {
         // Numerical gradient by central differences. The four rollouts
-        // behind each horizon step are independent, so chunks of steps
-        // evaluate concurrently on copies of the nominal controls;
-        // every chunk perturbs exactly one entry at a time, giving the
-        // same rollouts (and bitwise the same gradient) as the
-        // sequential in-place perturbation.
-        parallelForChunks(0, h, 1, [&](const ChunkRange &chunk) {
-            std::vector<double> v = solution.v;
-            std::vector<double> omega = solution.omega;
-            for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
-                double saved = v[k];
-                v[k] = saved + fd_eps;
-                double up = rolloutCost(current, reference, v, omega);
-                v[k] = saved - fd_eps;
-                double down = rolloutCost(current, reference, v, omega);
-                v[k] = saved;
-                grad_v[k] = (up - down) / (2.0 * fd_eps);
-
-                saved = omega[k];
-                omega[k] = saved + fd_eps;
-                up = rolloutCost(current, reference, v, omega);
-                omega[k] = saved - fd_eps;
-                down = rolloutCost(current, reference, v, omega);
-                omega[k] = saved;
-                grad_omega[k] = (up - down) / (2.0 * fd_eps);
-            }
-        });
+        // behind each horizon step are independent environments; the
+        // batch engine advances them in SIMD lanes (or one at a time
+        // under the preserved scalar reference), with chunks of steps
+        // evaluating concurrently — bitwise the same gradient either
+        // way, at any thread count (batch_env.h).
+        mpcCentralDiffGradient(config_, current, reference, solution.v,
+                               solution.omega, fd_eps, grad_v,
+                               grad_omega);
         solution.cost_evals += 4 * static_cast<int>(h);
         double grad_norm2 = 0.0;
         for (std::size_t k = 0; k < h; ++k) {
@@ -178,8 +133,8 @@ MpcController::solve(const UnicycleState &current,
             descendClamped(trial_omega.data(), solution.omega.data(),
                            grad_omega.data(), step, grad_norm,
                            -config_.omega_max, config_.omega_max, h);
-            double trial_cost =
-                rolloutCost(current, reference, trial_v, trial_omega);
+            double trial_cost = unicycleRolloutCost(
+                config_, current, reference, trial_v, trial_omega);
             ++solution.cost_evals;
             if (trial_cost < cost) {
                 solution.v = trial_v;

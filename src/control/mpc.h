@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "geom/vec2.h"
+#include "util/batch_engine.h"
 #include "util/profiler.h"
 
 namespace rtr {
@@ -52,6 +53,12 @@ struct MpcConfig
     double w_effort = 0.05;
     /** Cost weight: control smoothness (state change along the path). */
     double w_smooth = 0.5;
+    /**
+     * How the gradient's perturbed rollouts run: soa batches the four
+     * rollouts of each horizon coordinate into SIMD lanes, scalar runs
+     * them one at a time (bitwise-identical solutions either way).
+     */
+    BatchEngine batch_engine = defaultBatchEngine();
 };
 
 /** One MPC solve's outcome. */
@@ -93,11 +100,6 @@ class MpcController
     void reset();
 
   private:
-    double rolloutCost(const UnicycleState &start,
-                       const std::vector<Vec2> &reference,
-                       const std::vector<double> &v,
-                       const std::vector<double> &omega) const;
-
     MpcConfig config_;
     std::vector<double> warm_v_;
     std::vector<double> warm_omega_;

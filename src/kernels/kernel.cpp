@@ -58,6 +58,24 @@ nnEngineFromArgs(const ArgParser &args)
 }
 
 void
+addBatchOption(ArgParser &parser)
+{
+    parser.addOption("batch", batchEngineName(defaultBatchEngine()),
+                     "Rollout engine: soa = SIMD across environments, "
+                     "scalar = reference (identical results)");
+}
+
+BatchEngine
+batchEngineFromArgs(const ArgParser &args)
+{
+    BatchEngine engine = defaultBatchEngine();
+    const std::string name = args.get("batch");
+    if (!parseBatchEngine(name, engine))
+        fatal("--batch must be 'soa' or 'scalar', got '", name, "'");
+    return engine;
+}
+
+void
 writeReportFile(const KernelReport &report, const std::string &path)
 {
     std::ofstream out(path);

@@ -18,6 +18,7 @@
 
 #include "pointcloud/nn_engine.h"
 #include "util/args.h"
+#include "util/batch_engine.h"
 #include "util/profiler.h"
 
 namespace rtr {
@@ -68,6 +69,19 @@ void addNnOption(ArgParser &parser);
 
 /** Parse the --nn value to an engine; fatal() on anything unknown. */
 NnEngine nnEngineFromArgs(const ArgParser &args);
+
+/**
+ * Register the standard --batch option shared by the Monte-Carlo
+ * rollout kernels (cem, mpc, bo, pfl): "soa" = SIMD-across-environments
+ * batch engine (the default), "scalar" = the preserved one-environment-
+ * at-a-time reference. Rewards, traces, states and particle weights
+ * are bitwise identical either way (DESIGN.md "Batched environments");
+ * the switch exists for engine A/B timing on one binary.
+ */
+void addBatchOption(ArgParser &parser);
+
+/** Parse the --batch value to an engine; fatal() on anything unknown. */
+BatchEngine batchEngineFromArgs(const ArgParser &args);
 
 /** Result of one kernel run. */
 struct KernelReport

@@ -16,13 +16,16 @@ BoKernel::addOptions(ArgParser &parser) const
     parser.addOption("kappa", "2.0", "UCB exploration weight");
     parser.addOption("goal", "5.0", "Throw goal distance (m)");
     parser.addOption("seed", "1", "Random seed");
+    addThreadsOption(parser);
     addSimdOption(parser);
+    addBatchOption(parser);
 }
 
 KernelReport
 BoKernel::run(const ArgParser &args) const
 {
     KernelReport report;
+    applyThreadsOption(args);
     applySimdOption(args);
     BallThrowEnv env(args.getDouble("goal"));
 
@@ -31,6 +34,7 @@ BoKernel::run(const ArgParser &args) const
     config.candidates_per_iteration =
         static_cast<int>(args.getInt("candidates"));
     config.ucb_kappa = args.getDouble("kappa");
+    config.batch_engine = batchEngineFromArgs(args);
     BayesOpt optimizer(config);
 
     Rng rng(static_cast<std::uint64_t>(args.getInt("seed")));

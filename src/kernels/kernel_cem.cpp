@@ -1,6 +1,7 @@
 #include "kernels/kernel_cem.h"
 
 #include "control/ball_throw.h"
+#include "control/batch_env.h"
 #include "control/cem.h"
 #include "util/roi.h"
 #include "util/stopwatch.h"
@@ -18,6 +19,7 @@ CemKernel::addOptions(ArgParser &parser) const
                      "Learning episodes (for measurable timing)");
     parser.addOption("seed", "1", "Random seed");
     addThreadsOption(parser);
+    addBatchOption(parser);
 }
 
 KernelReport
@@ -37,12 +39,11 @@ CemKernel::run(const ArgParser &args) const
     const int repeats = static_cast<int>(args.getInt("repeats"));
     Rng rng(static_cast<std::uint64_t>(args.getInt("seed")));
 
-    auto reward = [&env](const std::vector<double> &params) {
-        return env.evaluate(params);
-    };
-    auto trace = [&env](const std::vector<double> &params) {
-        return env.flightTrace(params);
-    };
+    // Samples are scored through the batched throw evaluator (traces
+    // included, as the paper's sort carries them); --batch selects the
+    // SoA lanes or the preserved one-throw-at-a-time reference.
+    ThrowSampleEvaluator evaluator(env, /*with_trace=*/true,
+                                   batchEngineFromArgs(args));
 
     // ---- Learning (the ROI). One episode is tiny (75 evaluations);
     // repeat it to produce stable timing, exactly as a robot re-learning
@@ -52,9 +53,9 @@ CemKernel::run(const ArgParser &args) const
     {
         ScopedRoi roi;
         for (int r = 0; r < repeats; ++r)
-            result = optimizer.optimize(reward, env.lowerBounds(),
+            result = optimizer.optimize(evaluator, env.lowerBounds(),
                                         env.upperBounds(), rng,
-                                        &report.profiler, trace);
+                                        &report.profiler);
     }
     report.roi_seconds = roi_timer.elapsedSec();
 

@@ -19,6 +19,7 @@ MpcKernel::addOptions(ArgParser &parser) const
     parser.addOption("v-max", "2.0", "Velocity limit (m/s)");
     parser.addOption("a-max", "1.5", "Acceleration limit (m/s^2)");
     addThreadsOption(parser);
+    addBatchOption(parser);
 }
 
 KernelReport
@@ -38,6 +39,7 @@ MpcKernel::run(const ArgParser &args) const
         static_cast<int>(args.getInt("opt-iterations"));
     config.v_max = args.getDouble("v-max");
     config.a_max = args.getDouble("a-max");
+    config.batch_engine = batchEngineFromArgs(args);
     MpcController controller(config);
 
     // Start on the reference, aligned with it and at cruise speed, as

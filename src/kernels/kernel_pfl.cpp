@@ -77,6 +77,7 @@ PflKernel::addOptions(ArgParser &parser) const
                      "and weights are bitwise identical either way");
     parser.addFlag("global", "Initialize uniformly over the whole map");
     addThreadsOption(parser);
+    addBatchOption(parser);
 }
 
 KernelReport
@@ -122,6 +123,7 @@ PflKernel::run(const ArgParser &args) const
         filter.setRayEngine(RayEngine::Hierarchical);
     else
         fatal("--raycast must be 'hier' or 'scalar'");
+    filter.setBatchEngine(batchEngineFromArgs(args));
     Rng filter_rng(seed);
     if (args.getFlag("global"))
         filter.initializeUniform(filter_rng);

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "grid/raycast.h"
+#include "perception/batch_pfl.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -85,21 +87,79 @@ ParticleFilter::motionUpdate(const OdometryReading &odom, Rng &rng,
 {
     ScopedPhase phase(profiler, "motion-update");
     const MotionNoise &n = motion_noise_;
-    for (Particle &p : particles_) {
-        double rot1 = odom.rot1 +
-                      rng.normal(0.0, n.a1 * std::abs(odom.rot1) +
-                                          n.a2 * odom.trans);
-        double trans = odom.trans +
-                       rng.normal(0.0, n.a3 * odom.trans +
-                                           n.a4 * (std::abs(odom.rot1) +
-                                                   std::abs(odom.rot2)));
-        double rot2 = odom.rot2 +
-                      rng.normal(0.0, n.a1 * std::abs(odom.rot2) +
-                                          n.a2 * odom.trans);
-        double heading = p.pose.theta + rot1;
-        p.pose.x += trans * std::cos(heading);
-        p.pose.y += trans * std::sin(heading);
-        p.pose.theta = normalizeAngle(heading + rot2);
+    if (batch_engine_ == BatchEngine::Scalar) {
+        // Preserved serial reference: draw and step one hypothesis at
+        // a time.
+        for (Particle &p : particles_) {
+            double rot1 = odom.rot1 +
+                          rng.normal(0.0, n.a1 * std::abs(odom.rot1) +
+                                              n.a2 * odom.trans);
+            double trans =
+                odom.trans +
+                rng.normal(0.0, n.a3 * odom.trans +
+                                    n.a4 * (std::abs(odom.rot1) +
+                                            std::abs(odom.rot2)));
+            double rot2 = odom.rot2 +
+                          rng.normal(0.0, n.a1 * std::abs(odom.rot2) +
+                                              n.a2 * odom.trans);
+            double heading = p.pose.theta + rot1;
+            p.pose.x += trans * std::cos(heading);
+            p.pose.y += trans * std::sin(heading);
+            p.pose.theta = normalizeAngle(heading + rot2);
+        }
+        return;
+    }
+
+    telemetry::TraceSpan span("batch-motion");
+    const std::size_t count = particles_.size();
+    // The per-noise sigmas depend only on the odometry reading — the
+    // same sums the reference forms inside each rng.normal call.
+    const double sig_rot1 =
+        n.a1 * std::abs(odom.rot1) + n.a2 * odom.trans;
+    const double sig_trans =
+        n.a3 * odom.trans +
+        n.a4 * (std::abs(odom.rot1) + std::abs(odom.rot2));
+    const double sig_rot2 =
+        n.a1 * std::abs(odom.rot2) + n.a2 * odom.trans;
+
+    // RNG staging contract: draw all noise from the caller's stream in
+    // the reference's particle-major order (rot1, trans, rot2 per
+    // particle) before any lane work, so the stream position after
+    // this update is engine-independent.
+    noise_rot1_.resize(count);
+    noise_trans_.resize(count);
+    noise_rot2_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        noise_rot1_[i] = rng.normal(0.0, sig_rot1);
+        noise_trans_[i] = rng.normal(0.0, sig_trans);
+        noise_rot2_[i] = rng.normal(0.0, sig_rot2);
+    }
+
+    soa_x_.resize(count);
+    soa_y_.resize(count);
+    soa_theta_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        soa_x_[i] = particles_[i].pose.x;
+        soa_y_[i] = particles_[i].pose.y;
+        soa_theta_[i] = particles_[i].pose.theta;
+    }
+
+    // Chunks advance disjoint particle ranges; each range is pure in
+    // its staged noise, so any thread count produces the same poses.
+    parallelForChunks(0, count, 0, [&](const ChunkRange &chunk) {
+        motionModelSoa(soa_x_.data() + chunk.begin,
+                       soa_y_.data() + chunk.begin,
+                       soa_theta_.data() + chunk.begin,
+                       noise_rot1_.data() + chunk.begin,
+                       noise_trans_.data() + chunk.begin,
+                       noise_rot2_.data() + chunk.begin, odom,
+                       chunk.end - chunk.begin);
+    });
+
+    for (std::size_t i = 0; i < count; ++i) {
+        particles_[i].pose.x = soa_x_[i];
+        particles_[i].pose.y = soa_y_[i];
+        particles_[i].pose.theta = soa_theta_[i];
     }
 }
 
@@ -109,51 +169,38 @@ ParticleFilter::measurementUpdate(const LaserScan &scan,
 {
     const std::size_t n_beams = scan.ranges.size();
     RTR_ASSERT(n_beams >= 1, "scan needs >= 1 beam");
-    const double inv_sigma2 =
-        1.0 / (2.0 * sensor_model_.sigma * sensor_model_.sigma);
-    const double gauss_norm =
-        1.0 / (sensor_model_.sigma * std::sqrt(2.0 * kPi));
-    const double rand_density = 1.0 / scan.max_range;
-
     const std::size_t n_particles = particles_.size();
-    std::vector<double> log_weights(n_particles);
+    log_weight_scratch_.resize(n_particles);
+    std::vector<double> &log_weights = log_weight_scratch_;
 
     // Ray-casting: match every hypothesis against the map in one batch
     // cast. This is the dominant phase of the kernel; castScanBatch
     // runs the particles through the parallel runtime and each range
     // is a pure function of (map, pose, beam), so the expected scans
     // are bitwise-identical at any thread count.
-    std::vector<Pose2> poses(n_particles);
+    pose_scratch_.resize(n_particles);
     for (std::size_t i = 0; i < n_particles; ++i)
-        poses[i] = particles_[i].pose;
-    std::vector<double> expected;
+        pose_scratch_[i] = particles_[i].pose;
     {
         ScopedPhase phase(profiler, "raycast");
-        castScanBatch(map_, poses, scan.start_angle, scan.fov,
-                      static_cast<int>(n_beams), scan.max_range, expected,
-                      ray_engine_);
+        castScanBatch(map_, pose_scratch_, scan.start_angle, scan.fov,
+                      static_cast<int>(n_beams), scan.max_range,
+                      expected_scratch_, ray_engine_);
     }
 
-    // Score each particle's match under the beam mixture model; chunks
-    // write disjoint log_weights slots.
+    // Score each particle's match under the beam mixture model: each
+    // chunk is one SoA batch (soa engine) or the serial reference loop
+    // (scalar engine); chunks write disjoint log_weights slots.
     {
         ScopedPhase phase(profiler, "weight");
+        telemetry::TraceSpan span("batch-sensor");
         parallelForChunks(
             0, n_particles, 0, [&](const ChunkRange &chunk) {
-                for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
-                    const double *ranges = expected.data() + i * n_beams;
-                    double log_w = 0.0;
-                    for (std::size_t b = 0; b < n_beams; ++b) {
-                        double diff = scan.ranges[b] - ranges[b];
-                        double density =
-                            sensor_model_.z_hit * gauss_norm *
-                                std::exp(-diff * diff * inv_sigma2) +
-                            sensor_model_.z_rand * rand_density;
-                        log_w += std::log(density + 1e-300);
-                    }
-                    log_w /= sensor_model_.temperature;
-                    log_weights[i] = log_w;
-                }
+                beamLogWeights(
+                    expected_scratch_.data() + chunk.begin * n_beams,
+                    chunk.end - chunk.begin, n_beams, scan.ranges.data(),
+                    sensor_model_, scan.max_range,
+                    log_weights.data() + chunk.begin, batch_engine_);
             });
     }
     rays_cast_ += n_beams * n_particles;
@@ -187,7 +234,8 @@ ParticleFilter::resample(Rng &rng, PhaseProfiler *profiler)
 {
     ScopedPhase phase(profiler, "resample");
     const std::size_t n = particles_.size();
-    std::vector<Particle> next;
+    std::vector<Particle> &next = resample_scratch_;
+    next.clear();
     next.reserve(n);
 
     // Low-variance (systematic) resampling.
@@ -214,7 +262,7 @@ ParticleFilter::resample(Rng &rng, PhaseProfiler *profiler)
         next[victim].pose = sampleFreePose(rng);
         next[victim].weight = step;
     }
-    particles_ = std::move(next);
+    std::swap(particles_, next);
 }
 
 Pose2

@@ -17,6 +17,7 @@
 #include "geom/pose.h"
 #include "grid/occupancy_grid2d.h"
 #include "grid/raycast.h"
+#include "util/batch_engine.h"
 #include "util/profiler.h"
 #include "util/rng.h"
 
@@ -135,6 +136,18 @@ class ParticleFilter
     RayEngine rayEngine() const { return ray_engine_; }
 
     /**
+     * Select the batched-model engine for motion and weight updates:
+     * soa advances simd::VecD lanes of particles in lockstep through
+     * perception/batch_pfl.h, scalar runs the serial reference loops.
+     * Poses and weights are bitwise identical either way (the noise
+     * draws are staged from the caller's stream in scalar order under
+     * both engines — DESIGN.md "Batched environments").
+     */
+    void setBatchEngine(BatchEngine engine) { batch_engine_ = engine; }
+
+    BatchEngine batchEngine() const { return batch_engine_; }
+
+    /**
      * Low-variance resampling ("resample" phase). A small fraction of
      * particles (see setRandomInjection) is replaced by fresh uniform
      * hypotheses so the filter can recover from premature convergence
@@ -190,8 +203,20 @@ class ParticleFilter
     BeamSensorModel sensor_model_;
     std::vector<Particle> particles_;
     RayEngine ray_engine_ = RayEngine::Hierarchical;
+    BatchEngine batch_engine_ = defaultBatchEngine();
     std::size_t rays_cast_ = 0;
     double random_injection_ = 0.02;
+
+    // Per-update workspaces: the filter runs thousands of updates per
+    // benchmark, so the pose/scan/weight scratch and the SoA state and
+    // staged-noise arrays keep their capacity across calls instead of
+    // reallocating per particle or per update.
+    std::vector<Pose2> pose_scratch_;
+    std::vector<double> expected_scratch_;
+    std::vector<double> log_weight_scratch_;
+    std::vector<double> soa_x_, soa_y_, soa_theta_;
+    std::vector<double> noise_rot1_, noise_trans_, noise_rot2_;
+    std::vector<Particle> resample_scratch_;
 };
 
 /**

@@ -20,6 +20,14 @@
  * contraction off, as src/linalg/ is). That property is what lets the
  * dense-linalg micro-kernels guarantee bitwise identity against their
  * preserved scalar reference paths.
+ *
+ * Branches vectorize through cmpGT/select: cmpGT yields a per-lane
+ * all-ones/all-zeros bit mask and select is a pure bitwise blend, so
+ * `select(cmpGT(a, b), x, y)` is bitwise the scalar `a > b ? x : y`
+ * in every lane — including the sign of zero and NaN payloads, which
+ * an arithmetic masking trick (adding a masked 0.0) would not preserve.
+ * select requires each mask lane to be such a cmp result (all-ones or
+ * all-zeros); feeding it arbitrary doubles is undefined by contract.
  */
 
 #ifndef RTR_UTIL_SIMD_H
@@ -43,7 +51,9 @@
 #elif defined(RTR_SIMD_BACKEND_NEON)
 #  include <arm_neon.h>
 #else
+#  include <bit>
 #  include <cmath>
+#  include <cstdint>
 #endif
 
 namespace rtr {
@@ -82,6 +92,27 @@ struct VecD
     static VecD min(VecD a, VecD b) { return {_mm256_min_pd(a.v, b.v)}; }
     static VecD max(VecD a, VecD b) { return {_mm256_max_pd(a.v, b.v)}; }
     static VecD sqrt(VecD a) { return {_mm256_sqrt_pd(a.v)}; }
+
+    /** Lane mask: all-ones where a > b, all-zeros elsewhere. */
+    static VecD cmpGT(VecD a, VecD b)
+    {
+        return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)};
+    }
+    /** Bitwise blend: lanes of a where mask is all-ones, else b. */
+    static VecD select(VecD mask, VecD a, VecD b)
+    {
+        return {_mm256_blendv_pd(b.v, a.v, mask.v)};
+    }
+    /** |a| per lane (clears the sign bit, NaN payloads intact). */
+    static VecD abs(VecD a)
+    {
+        return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+    }
+    /** -a per lane (flips the sign bit, exactly like scalar -x). */
+    static VecD neg(VecD a)
+    {
+        return {_mm256_xor_pd(_mm256_set1_pd(-0.0), a.v)};
+    }
 };
 
 #elif defined(RTR_SIMD_BACKEND_SSE2)
@@ -115,6 +146,28 @@ struct VecD
     static VecD min(VecD a, VecD b) { return {_mm_min_pd(a.v, b.v)}; }
     static VecD max(VecD a, VecD b) { return {_mm_max_pd(a.v, b.v)}; }
     static VecD sqrt(VecD a) { return {_mm_sqrt_pd(a.v)}; }
+
+    /** Lane mask: all-ones where a > b, all-zeros elsewhere. */
+    static VecD cmpGT(VecD a, VecD b)
+    {
+        return {_mm_cmpgt_pd(a.v, b.v)};
+    }
+    /** Bitwise blend: lanes of a where mask is all-ones, else b. */
+    static VecD select(VecD mask, VecD a, VecD b)
+    {
+        return {_mm_or_pd(_mm_and_pd(mask.v, a.v),
+                          _mm_andnot_pd(mask.v, b.v))};
+    }
+    /** |a| per lane (clears the sign bit, NaN payloads intact). */
+    static VecD abs(VecD a)
+    {
+        return {_mm_andnot_pd(_mm_set1_pd(-0.0), a.v)};
+    }
+    /** -a per lane (flips the sign bit, exactly like scalar -x). */
+    static VecD neg(VecD a)
+    {
+        return {_mm_xor_pd(_mm_set1_pd(-0.0), a.v)};
+    }
 };
 
 #elif defined(RTR_SIMD_BACKEND_NEON)
@@ -149,6 +202,21 @@ struct VecD
     static VecD min(VecD a, VecD b) { return {vminq_f64(a.v, b.v)}; }
     static VecD max(VecD a, VecD b) { return {vmaxq_f64(a.v, b.v)}; }
     static VecD sqrt(VecD a) { return {vsqrtq_f64(a.v)}; }
+
+    /** Lane mask: all-ones where a > b, all-zeros elsewhere. */
+    static VecD cmpGT(VecD a, VecD b)
+    {
+        return {vreinterpretq_f64_u64(vcgtq_f64(a.v, b.v))};
+    }
+    /** Bitwise blend: lanes of a where mask is all-ones, else b. */
+    static VecD select(VecD mask, VecD a, VecD b)
+    {
+        return {vbslq_f64(vreinterpretq_u64_f64(mask.v), a.v, b.v)};
+    }
+    /** |a| per lane (clears the sign bit, NaN payloads intact). */
+    static VecD abs(VecD a) { return {vabsq_f64(a.v)}; }
+    /** -a per lane (flips the sign bit, exactly like scalar -x). */
+    static VecD neg(VecD a) { return {vnegq_f64(a.v)}; }
 };
 
 #else
@@ -184,6 +252,30 @@ struct VecD
     static VecD min(VecD a, VecD b) { return {b.v < a.v ? b.v : a.v}; }
     static VecD max(VecD a, VecD b) { return {a.v < b.v ? b.v : a.v}; }
     static VecD sqrt(VecD a) { return {std::sqrt(a.v)}; }
+
+    /** Lane mask: all-ones where a > b, all-zeros elsewhere. */
+    static VecD cmpGT(VecD a, VecD b)
+    {
+        return {std::bit_cast<double>(
+            a.v > b.v ? ~std::uint64_t{0} : std::uint64_t{0})};
+    }
+    /** Bitwise blend: lanes of a where mask is all-ones, else b. */
+    static VecD select(VecD mask, VecD a, VecD b)
+    {
+        const std::uint64_t m = std::bit_cast<std::uint64_t>(mask.v);
+        return {std::bit_cast<double>(
+            (std::bit_cast<std::uint64_t>(a.v) & m) |
+            (std::bit_cast<std::uint64_t>(b.v) & ~m))};
+    }
+    /** |a| per lane (clears the sign bit, NaN payloads intact). */
+    static VecD abs(VecD a) { return {std::fabs(a.v)}; }
+    /** -a per lane (flips the sign bit, exactly like scalar -x). */
+    static VecD neg(VecD a)
+    {
+        return {std::bit_cast<double>(
+            std::bit_cast<std::uint64_t>(a.v) ^
+            (std::uint64_t{1} << 63))};
+    }
 };
 
 #endif
