@@ -11,6 +11,7 @@ int
 main(int argc, char **argv)
 {
     rtr::bench::Harness harness(argc, argv);
+    rtr::bench::requireKnownOptions(argc, argv);
     using namespace rtr;
     using namespace rtr::bench;
 

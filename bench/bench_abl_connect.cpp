@@ -14,10 +14,13 @@
 #include "util/stopwatch.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rtr;
     using namespace rtr::bench;
+
+    Harness harness(argc, argv);
+    requireKnownOptions(argc, argv);
 
     banner("ablation — RRT vs RRT-Connect",
            "bidirectional growth with a greedy connect step vs the "

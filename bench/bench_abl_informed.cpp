@@ -13,10 +13,13 @@
 #include "util/stopwatch.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rtr;
     using namespace rtr::bench;
+
+    Harness harness(argc, argv);
+    requireKnownOptions(argc, argv);
 
     banner("ablation — informed sampling in RRT*",
            "reject provably-useless samples once a solution exists "

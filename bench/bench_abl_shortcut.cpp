@@ -8,10 +8,13 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rtr;
     using namespace rtr::bench;
+
+    Harness harness(argc, argv);
+    requireKnownOptions(argc, argv);
 
     banner("ablation — shortcut iterations in rrtpp",
            "more post-processing iterations keep lowering path cost "

@@ -11,10 +11,13 @@
 #include "util/stopwatch.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rtr;
     using namespace rtr::bench;
+
+    Harness harness(argc, argv);
+    requireKnownOptions(argc, argv);
 
     banner("ablation — Weighted A* epsilon sweep",
            "WA* inflates the heuristic by epsilon: up to epsilon x "

@@ -52,6 +52,44 @@ warmupRuns()
     return 1;
 }
 
+/**
+ * Strict argument hygiene for bench mains (the argv analogue of the
+ * strict-strtol env parsing above): every `--option` left after the
+ * Harness stripped --trace/--counters must match one of @p options
+ * (specs like "--json [path]"; matching is on the name before the
+ * first space, and an inline `--name=value` form also matches).
+ * Anything else prints a usage line and exits 2, so a typo'd flag
+ * cannot silently run the bench with defaults. Non-option operands
+ * (e.g. an output path after --json) are the binary's business.
+ */
+inline void
+requireKnownOptions(int argc, char **argv,
+                    std::initializer_list<const char *> options = {})
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            continue;
+        const std::string name = arg.substr(0, arg.find('='));
+        bool known = false;
+        for (const char *spec : options) {
+            const std::string spec_str(spec);
+            if (name == spec_str.substr(0, spec_str.find(' '))) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            std::cerr << argv[0] << ": unknown option '" << arg
+                      << "'\nusage: " << argv[0];
+            for (const char *spec : options)
+                std::cerr << " [" << spec << "]";
+            std::cerr << " [--trace out.json] [--counters]\n";
+            std::exit(2);
+        }
+    }
+}
+
 /** Print the standard experiment banner. */
 inline void
 banner(const std::string &experiment, const std::string &paper_claim)

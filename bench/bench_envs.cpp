@@ -325,6 +325,7 @@ int
 main(int argc, char **argv)
 {
     Harness harness(argc, argv);
+    requireKnownOptions(argc, argv, {"--json [path]"});
     std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {

@@ -128,6 +128,7 @@ int
 main(int argc, char **argv)
 {
     rtr::bench::Harness harness(argc, argv);
+    rtr::bench::requireKnownOptions(argc, argv, {"--json [path]"});
 
     bool write_json = false;
     std::string json_path = "BENCH_counters.json";

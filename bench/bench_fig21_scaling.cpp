@@ -106,10 +106,13 @@ runThreadScalingSweep()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rtr;
     using namespace rtr::bench;
+
+    Harness harness(argc, argv);
+    requireKnownOptions(argc, argv);
 
     runThreadScalingSweep();
 

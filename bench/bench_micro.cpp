@@ -680,6 +680,12 @@ main(int argc, char **argv)
     rtr::bench::Harness harness(argc, argv);
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
+            // In --json mode this main owns the argv contract (the
+            // google-benchmark path below has its own strict
+            // ReportUnrecognizedArguments); reject anything that is
+            // not the --json flag and its positional paths.
+            rtr::bench::requireKnownOptions(
+                argc, argv, {"--json [raycast.json [gemm.json]]"});
             std::string raycast_path = "BENCH_raycast.json";
             std::string gemm_path = "BENCH_gemm.json";
             if (i + 1 < argc && argv[i + 1][0] != '-') {

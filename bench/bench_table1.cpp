@@ -48,6 +48,7 @@ int
 main(int argc, char **argv)
 {
     rtr::bench::Harness harness(argc, argv);
+    rtr::bench::requireKnownOptions(argc, argv);
     banner("Table I — RTRBench's kernels and their key characteristics",
            "stage + dominant bottleneck per kernel (Table I)");
 

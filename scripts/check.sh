@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Local CI: build + ctest across the sanitizer matrix.
 #
-#   scripts/check.sh              # release asan ubsan tsan scalar nn-node batch-scalar
+#   scripts/check.sh              # release asan ubsan tsan scalar nn-node batch-scalar service
 #   scripts/check.sh release asan # just those variants
 #
 # Each variant uses its own build tree (build-check-<variant>) so the
@@ -15,19 +15,40 @@
 # default is the leaf-bucketed one) stays green too; it reuses the
 # release build tree. The batch-scalar variant does the same with
 # RTR_BATCH_ENGINE=scalar, keeping the reference rollout engine (the
-# default is the SoA batch engine) green.
+# default is the SoA batch engine) green. The service variant smokes
+# the planning-as-a-service runtime end to end: the service/MPMC test
+# suites plus a bench_service run (its determinism replay exits 2 on
+# any divergence) in both the Release and TSan trees.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 variants=("$@")
 if [ ${#variants[@]} -eq 0 ]; then
-    variants=(release asan ubsan tsan scalar nn-node batch-scalar)
+    variants=(release asan ubsan tsan scalar nn-node batch-scalar service)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
 for variant in "${variants[@]}"; do
+    if [ "${variant}" = "service" ]; then
+        for mode in release tsan; do
+            sdir="build-check-${mode}"
+            scmake=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
+            [ "${mode}" = "tsan" ] && scmake+=(-DRTR_TSAN=ON)
+            echo "==== service: configure + build (${sdir}) ===="
+            cmake -B "${sdir}" -S . "${scmake[@]}" > /dev/null
+            cmake --build "${sdir}" -j "${jobs}"
+            echo "==== service: ctest (${mode}) ===="
+            ctest --test-dir "${sdir}" --output-on-failure -j "${jobs}" \
+                -R 'Service|Mpmc'
+            echo "==== service: bench_service smoke (${mode}) ===="
+            "${sdir}/bench/bench_service" --requests 2000 \
+                --json "${sdir}/BENCH_service_smoke.json"
+        done
+        continue
+    fi
+
     dir="build-check-${variant}"
     cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
     test_args=(--output-on-failure -j "${jobs}")
@@ -41,7 +62,7 @@ for variant in "${variants[@]}"; do
       asan)  cmake_args+=(-DRTR_ASAN=ON) ;;
       ubsan) cmake_args+=(-DRTR_UBSAN=ON) ;;
       tsan)  cmake_args+=(-DRTR_TSAN=ON)
-             test_args+=(-R 'Parallel|Telemetry') ;;
+             test_args+=(-R 'Parallel|Telemetry|Service|Mpmc') ;;
       scalar) cmake_args+=(-DRTR_FORCE_SCALAR_SIMD=ON) ;;
       *) echo "unknown variant '${variant}'" >&2; exit 2 ;;
     esac

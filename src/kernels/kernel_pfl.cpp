@@ -123,7 +123,11 @@ PflKernel::run(const ArgParser &args) const
         filter.setRayEngine(RayEngine::Hierarchical);
     else
         fatal("--raycast must be 'hier' or 'scalar'");
-    filter.setBatchEngine(batchEngineFromArgs(args));
+    // --batch / RTR_BATCH_ENGINE force one engine for both phases;
+    // otherwise each phase keeps its own default (motion SoA, weight
+    // scalar — the sensor-model SoA leg measured below 1x).
+    if (args.isSet("batch") || batchEngineOverridden())
+        filter.setBatchEngine(batchEngineFromArgs(args));
     Rng filter_rng(seed);
     if (args.getFlag("global"))
         filter.initializeUniform(filter_rng);

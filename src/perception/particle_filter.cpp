@@ -87,7 +87,7 @@ ParticleFilter::motionUpdate(const OdometryReading &odom, Rng &rng,
 {
     ScopedPhase phase(profiler, "motion-update");
     const MotionNoise &n = motion_noise_;
-    if (batch_engine_ == BatchEngine::Scalar) {
+    if (motion_engine_ == BatchEngine::Scalar) {
         // Preserved serial reference: draw and step one hypothesis at
         // a time.
         for (Particle &p : particles_) {
@@ -200,7 +200,7 @@ ParticleFilter::measurementUpdate(const LaserScan &scan,
                     expected_scratch_.data() + chunk.begin * n_beams,
                     chunk.end - chunk.begin, n_beams, scan.ranges.data(),
                     sensor_model_, scan.max_range,
-                    log_weights.data() + chunk.begin, batch_engine_);
+                    log_weights.data() + chunk.begin, weight_engine_);
             });
     }
     rays_cast_ += n_beams * n_particles;

@@ -136,16 +136,35 @@ class ParticleFilter
     RayEngine rayEngine() const { return ray_engine_; }
 
     /**
-     * Select the batched-model engine for motion and weight updates:
-     * soa advances simd::VecD lanes of particles in lockstep through
-     * perception/batch_pfl.h, scalar runs the serial reference loops.
-     * Poses and weights are bitwise identical either way (the noise
-     * draws are staged from the caller's stream in scalar order under
-     * both engines — DESIGN.md "Batched environments").
+     * Select the batched-model engine for *both* the motion and weight
+     * updates: soa advances simd::VecD lanes of particles in lockstep
+     * through perception/batch_pfl.h, scalar runs the serial reference
+     * loops. Poses and weights are bitwise identical either way (the
+     * noise draws are staged from the caller's stream in scalar order
+     * under both engines — DESIGN.md "Batched environments").
+     *
+     * This is the full-override entry point (--batch /
+     * RTR_BATCH_ENGINE). Left alone, the phases pick their own
+     * defaults: motion is SoA, weight is scalar (the sensor-model leg
+     * is exp/log-bound and measured 0.92-0.94x under SoA — see
+     * defaultPflWeightEngine()).
      */
-    void setBatchEngine(BatchEngine engine) { batch_engine_ = engine; }
+    void
+    setBatchEngine(BatchEngine engine)
+    {
+        motion_engine_ = engine;
+        weight_engine_ = engine;
+    }
 
-    BatchEngine batchEngine() const { return batch_engine_; }
+    /** Engine of the motion phase alone. */
+    void setMotionEngine(BatchEngine engine) { motion_engine_ = engine; }
+
+    /** Engine of the weight (sensor-model) phase alone. */
+    void setWeightEngine(BatchEngine engine) { weight_engine_ = engine; }
+
+    BatchEngine motionEngine() const { return motion_engine_; }
+
+    BatchEngine weightEngine() const { return weight_engine_; }
 
     /**
      * Low-variance resampling ("resample" phase). A small fraction of
@@ -203,7 +222,8 @@ class ParticleFilter
     BeamSensorModel sensor_model_;
     std::vector<Particle> particles_;
     RayEngine ray_engine_ = RayEngine::Hierarchical;
-    BatchEngine batch_engine_ = defaultBatchEngine();
+    BatchEngine motion_engine_ = defaultBatchEngine();
+    BatchEngine weight_engine_ = defaultPflWeightEngine();
     std::size_t rays_cast_ = 0;
     double random_injection_ = 0.02;
 

@@ -106,9 +106,18 @@ MotionPlan
 PrmPlanner::query(const ArmConfig &start, const ArmConfig &goal,
                   PhaseProfiler *profiler) const
 {
+    return query(start, goal, checker_, profiler, &last_heuristic_evals_);
+}
+
+MotionPlan
+PrmPlanner::query(const ArmConfig &start, const ArmConfig &goal,
+                  const ArmCollisionChecker &checker,
+                  PhaseProfiler *profiler,
+                  std::size_t *heuristic_evals) const
+{
     MotionPlan result;
     RTR_ASSERT(!configs_.empty(), "query before build()");
-    std::size_t checks_before = checker_.checksPerformed();
+    std::size_t checks_before = checker.checksPerformed();
 
     // Work on a copy of the roadmap so queries are independent.
     ExplicitGraph graph = graph_;
@@ -117,10 +126,10 @@ PrmPlanner::query(const ArmConfig &start, const ArmConfig &goal,
     std::uint32_t start_id, goal_id;
     {
         ScopedPhase phase(profiler, "online-connect");
-        if (checker_.configCollides(start) ||
-            checker_.configCollides(goal)) {
+        if (checker.configCollides(start) ||
+            checker.configCollides(goal)) {
             result.collision_checks =
-                checker_.checksPerformed() - checks_before;
+                checker.checksPerformed() - checks_before;
             return result;
         }
 
@@ -143,8 +152,8 @@ PrmPlanner::query(const ArmConfig &start, const ArmConfig &goal,
                 double dist = std::sqrt(d2);
                 if (dist > config_.max_edge_length * 2.0)
                     break;
-                if (!checker_.motionCollides(q, configs_[node],
-                                             config_.collision_step)) {
+                if (!checker.motionCollides(q, configs_[node],
+                                            config_.collision_step)) {
                     graph.addEdge(id, node, dist);
                     ++connected;
                 }
@@ -163,9 +172,10 @@ PrmPlanner::query(const ArmConfig &start, const ArmConfig &goal,
             return ConfigSpace::distance(configs[node], goal);
         },
         profiler);
-    last_heuristic_evals_ = search.heuristic_evals;
+    if (heuristic_evals)
+        *heuristic_evals = search.heuristic_evals;
 
-    result.collision_checks = checker_.checksPerformed() - checks_before;
+    result.collision_checks = checker.checksPerformed() - checks_before;
     result.tree_size = graph.size();
     if (!search.found)
         return result;

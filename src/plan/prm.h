@@ -76,6 +76,21 @@ class PrmPlanner
     MotionPlan query(const ArmConfig &start, const ArmConfig &goal,
                      PhaseProfiler *profiler = nullptr) const;
 
+    /**
+     * Thread-safe online query against a caller-supplied checker.
+     *
+     * The built roadmap is immutable, so any number of threads may
+     * query it concurrently as long as each brings its own collision
+     * checker (the checker's FK scratch is not thread-safe) and reads
+     * heuristic-eval counts through @p heuristic_evals instead of
+     * lastHeuristicEvals(). The service runtime's PrmQuery handler is
+     * the primary client.
+     */
+    MotionPlan query(const ArmConfig &start, const ArmConfig &goal,
+                     const ArmCollisionChecker &checker,
+                     PhaseProfiler *profiler,
+                     std::size_t *heuristic_evals) const;
+
     /** Roadmap node count (0 before build()). */
     std::size_t roadmapSize() const { return configs_.size(); }
 

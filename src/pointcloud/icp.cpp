@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "linalg/decomp.h"
@@ -123,22 +124,22 @@ bestRigidTransform(const std::vector<Vec3> &source,
     return out;
 }
 
+namespace {
+
+/**
+ * The iteration loop of point-to-point ICP against an already-built
+ * target index. Shared by the per-call overload (which builds the
+ * index first) and the IcpTargetIndex overload (which reuses one), so
+ * the two are bitwise identical by construction.
+ */
 IcpResult
-icpRegister(const PointCloud &source, const PointCloud &target,
-            const IcpConfig &config, PhaseProfiler *profiler)
+icpRegisterCore(const PointCloud &source, const PointCloud &target,
+                const TargetIndex3 &tree, const IcpConfig &config,
+                PhaseProfiler *profiler)
 {
     RTR_ASSERT(source.size() >= 3 && target.size() >= 3,
                "ICP needs >= 3 points in each cloud");
     IcpResult result;
-
-    // Build the target index once; correspondences re-query it every
-    // iteration with the moving source points (the irregular-access
-    // pattern the paper identifies as the memory bottleneck of srec).
-    TargetIndex3 tree(config.nn_engine);
-    {
-        ScopedPhase phase(profiler, "icp-nn-build");
-        tree.build(target);
-    }
 
     PointCloud moved = source;
     std::vector<std::array<double, 3>> queries; // reused per iteration
@@ -228,6 +229,56 @@ icpRegister(const PointCloud &source, const PointCloud &target,
         }
     }
     return result;
+}
+
+} // namespace
+
+IcpResult
+icpRegister(const PointCloud &source, const PointCloud &target,
+            const IcpConfig &config, PhaseProfiler *profiler)
+{
+    // Build the target index once; correspondences re-query it every
+    // iteration with the moving source points (the irregular-access
+    // pattern the paper identifies as the memory bottleneck of srec).
+    TargetIndex3 tree(config.nn_engine);
+    {
+        ScopedPhase phase(profiler, "icp-nn-build");
+        tree.build(target);
+    }
+    return icpRegisterCore(source, target, tree, config, profiler);
+}
+
+struct IcpTargetIndex::Impl
+{
+    PointCloud target;
+    TargetIndex3 tree;
+
+    Impl(const PointCloud &cloud, NnEngine engine)
+        : target(cloud), tree(engine)
+    {
+        tree.build(target);
+    }
+};
+
+IcpTargetIndex::IcpTargetIndex(const PointCloud &target, NnEngine engine)
+    : impl_(std::make_unique<Impl>(target, engine))
+{
+}
+
+IcpTargetIndex::~IcpTargetIndex() = default;
+
+const PointCloud &
+IcpTargetIndex::target() const
+{
+    return impl_->target;
+}
+
+IcpResult
+icpRegister(const PointCloud &source, const IcpTargetIndex &target,
+            const IcpConfig &config, PhaseProfiler *profiler)
+{
+    return icpRegisterCore(source, target.impl_->target,
+                           target.impl_->tree, config, profiler);
 }
 
 std::vector<Vec3>

@@ -11,6 +11,8 @@
 #ifndef RTR_POINTCLOUD_ICP_H
 #define RTR_POINTCLOUD_ICP_H
 
+#include <memory>
+
 #include "pointcloud/nn_engine.h"
 #include "pointcloud/point_cloud.h"
 #include "util/profiler.h"
@@ -59,6 +61,47 @@ struct IcpResult
  *        matrix operations.
  */
 IcpResult icpRegister(const PointCloud &source, const PointCloud &target,
+                      const IcpConfig &config = {},
+                      PhaseProfiler *profiler = nullptr);
+
+/**
+ * Prebuilt immutable target for icpRegister: the target cloud plus its
+ * nearest-neighbor index, built once and shared by any number of
+ * registrations (and any number of threads — queries are const). This
+ * is the amortized path for serving workloads where many scans
+ * register against one reference model: per-call icpRegister pays the
+ * "icp-nn-build" phase every time, this class pays it once.
+ *
+ * The results are bitwise identical to the per-call overload with the
+ * same @p engine: both run the same core loop over the same index.
+ */
+class IcpTargetIndex
+{
+  public:
+    IcpTargetIndex(const PointCloud &target,
+                   NnEngine engine = defaultNnEngine());
+    ~IcpTargetIndex();
+    IcpTargetIndex(const IcpTargetIndex &) = delete;
+    IcpTargetIndex &operator=(const IcpTargetIndex &) = delete;
+
+    /** The indexed target cloud (the copy the index refers into). */
+    const PointCloud &target() const;
+
+  private:
+    friend IcpResult icpRegister(const PointCloud &,
+                                 const IcpTargetIndex &,
+                                 const IcpConfig &, PhaseProfiler *);
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Register @p source onto a prebuilt target index. Identical results
+ * to the cloud overload; the index's NN engine is used (the value in
+ * @p config.nn_engine is ignored) and no "icp-nn-build" phase runs.
+ */
+IcpResult icpRegister(const PointCloud &source,
+                      const IcpTargetIndex &target,
                       const IcpConfig &config = {},
                       PhaseProfiler *profiler = nullptr);
 

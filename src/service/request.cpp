@@ -1,0 +1,102 @@
+#include "service/request.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace rtr {
+namespace service {
+
+const char *
+requestTypeName(RequestType type)
+{
+    switch (type) {
+    case RequestType::Pp2dPlan:
+        return "pp2d";
+    case RequestType::PrmQuery:
+        return "prm";
+    case RequestType::NnBatch:
+        return "nn";
+    case RequestType::IcpRegister:
+        return "icp";
+    }
+    return "?";
+}
+
+RequestType
+requestTypeOf(const Request &request)
+{
+    return static_cast<RequestType>(request.index());
+}
+
+namespace {
+
+/** Append the value bytes of a trivially-copyable scalar. */
+template <typename T>
+void
+appendScalar(std::vector<std::uint8_t> &out, const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto *bytes = reinterpret_cast<const std::uint8_t *>(&value);
+    out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+void
+appendLength(std::vector<std::uint8_t> &out, std::size_t n)
+{
+    appendScalar(out, static_cast<std::uint64_t>(n));
+}
+
+} // namespace
+
+void
+appendCanonicalBytes(const Response &response,
+                     std::vector<std::uint8_t> &out)
+{
+    // One byte of type tag keeps responses of different types unequal
+    // even if their field bytes happened to coincide.
+    appendScalar(out, static_cast<std::uint8_t>(response.index()));
+
+    std::visit(
+        [&](const auto &r) {
+            using R = std::decay_t<decltype(r)>;
+            if constexpr (std::is_same_v<R, Pp2dPlanResponse>) {
+                appendScalar(out, static_cast<std::uint8_t>(r.found));
+                appendScalar(out, r.cost);
+                appendScalar(out, r.expanded);
+                appendLength(out, r.path.size());
+                for (const Cell2 &cell : r.path) {
+                    appendScalar(out, static_cast<std::int32_t>(cell.x));
+                    appendScalar(out, static_cast<std::int32_t>(cell.y));
+                }
+            } else if constexpr (std::is_same_v<R, PrmQueryResponse>) {
+                appendScalar(out, static_cast<std::uint8_t>(r.found));
+                appendScalar(out, r.cost);
+                appendScalar(out, r.heuristic_evals);
+                appendLength(out, r.path.size());
+                for (const ArmConfig &q : r.path) {
+                    appendLength(out, q.size());
+                    for (double v : q)
+                        appendScalar(out, v);
+                }
+            } else if constexpr (std::is_same_v<R, NnBatchResponse>) {
+                appendLength(out, r.hits.size());
+                // Field-by-field: KdHit has padding between id and
+                // dist2 that memcpy of the struct would leak into the
+                // canonical form.
+                for (const KdHit &hit : r.hits) {
+                    appendScalar(out, hit.id);
+                    appendScalar(out, hit.dist2);
+                }
+            } else if constexpr (std::is_same_v<R, IcpRegisterResponse>) {
+                appendScalar(out, r.rmse);
+                appendScalar(out, static_cast<std::int32_t>(r.iterations));
+                appendScalar(out, static_cast<std::uint8_t>(r.converged));
+                for (double v : r.transform)
+                    appendScalar(out, v);
+            }
+        },
+        response);
+}
+
+} // namespace service
+} // namespace rtr

@@ -73,6 +73,39 @@ defaultBatchEngine()
     return def;
 }
 
+/**
+ * Whether RTR_BATCH_ENGINE names a valid engine — i.e. the user asked
+ * for one engine *everywhere*. Per-phase defaults (see
+ * defaultPflWeightEngine) yield to this, exactly like an explicit
+ * --batch flag, so the check.sh batch-scalar leg and A/B runs still
+ * pin every phase to one engine.
+ */
+inline bool
+batchEngineOverridden()
+{
+    static const bool overridden = [] {
+        const char *env = std::getenv("RTR_BATCH_ENGINE");
+        BatchEngine parsed = BatchEngine::Soa;
+        return env != nullptr && parseBatchEngine(env, parsed);
+    }();
+    return overridden;
+}
+
+/**
+ * Default engine for the pfl *weight* (beam sensor-model) phase:
+ * scalar, unless RTR_BATCH_ENGINE overrides. The SoA leg of this phase
+ * measured 0.92-0.94x — it is exp/log-bound, and the lane shuffle
+ * costs more than the vectorization buys (EXPERIMENTS.md "Batched
+ * rollouts") — so unlike the motion phase it defaults to the
+ * reference loop.
+ */
+inline BatchEngine
+defaultPflWeightEngine()
+{
+    return batchEngineOverridden() ? defaultBatchEngine()
+                                   : BatchEngine::Scalar;
+}
+
 } // namespace rtr
 
 #endif // RTR_UTIL_BATCH_ENGINE_H

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer/multi-consumer queue.
+ *
+ * The request spine of the planning service (service/service.h): any
+ * number of client threads push work while any number of workers pop
+ * it, with no mutex on either side. The implementation is Vyukov's
+ * classic bounded MPMC ring: every cell carries a sequence number that
+ * encodes, relative to the head/tail tickets, whether the cell is
+ * empty, full, or in transit, so producers and consumers claim cells
+ * with one CAS each and publish payloads with one release store.
+ *
+ * Properties the service relies on:
+ *  - bounded by construction: tryPush on a full ring fails instead of
+ *    allocating, which is the backpressure signal (the caller decides
+ *    whether to retry, drop, or block);
+ *  - per-cell handoff: a popped value was fully written by its
+ *    producer (acquire on the cell sequence pairs with the producer's
+ *    release), so payloads need no atomics of their own;
+ *  - FIFO per producer, and globally FIFO in the ticket order the CAS
+ *    hands out. Completion order is therefore *not* deterministic
+ *    under concurrency — anything that must be reproducible (the
+ *    service's determinism contract) must depend only on the popped
+ *    item itself, never on pop order.
+ *
+ * The queue stores trivially-copyable-ish values (the service uses raw
+ * slot pointers); values are copied in and moved out.
+ */
+
+#ifndef RTR_UTIL_MPMC_QUEUE_H
+#define RTR_UTIL_MPMC_QUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rtr {
+
+/** Bounded lock-free MPMC ring (Vyukov). Capacity rounds up to a
+ *  power of two and is at least 2. */
+template <typename T>
+class MpmcQueue
+{
+  public:
+    explicit MpmcQueue(std::size_t capacity)
+        : cells_(roundUpPow2(capacity)), mask_(cells_.size() - 1)
+    {
+        for (std::size_t i = 0; i < cells_.size(); ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    MpmcQueue(const MpmcQueue &) = delete;
+    MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+    /** Usable capacity (the rounded-up power of two). */
+    std::size_t capacity() const { return cells_.size(); }
+
+    /**
+     * Enqueue a copy of @p value. Returns false when the ring is full
+     * (the bounded-queue backpressure signal); the queue is unchanged.
+     */
+    bool
+    tryPush(const T &value)
+    {
+        Cell *cell;
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::size_t seq =
+                cell->seq.load(std::memory_order_acquire);
+            const auto diff = static_cast<std::intptr_t>(seq) -
+                              static_cast<std::intptr_t>(pos);
+            if (diff == 0) {
+                // Cell is empty at our ticket; claim it.
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (diff < 0) {
+                return false; // full: consumer has not freed this cell
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+        cell->value = value;
+        cell->seq.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Dequeue into @p out. Returns false when the ring is empty at the
+     * moment of the attempt (transient under concurrency).
+     */
+    bool
+    tryPop(T &out)
+    {
+        Cell *cell;
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::size_t seq =
+                cell->seq.load(std::memory_order_acquire);
+            const auto diff = static_cast<std::intptr_t>(seq) -
+                              static_cast<std::intptr_t>(pos + 1);
+            if (diff == 0) {
+                // Cell holds a published value at our ticket; claim it.
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (diff < 0) {
+                return false; // empty: producer has not filled this cell
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+        out = std::move(cell->value);
+        cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Approximate occupancy (producers and consumers may be mid-flight;
+     * exact only when the queue is quiescent). For stats/telemetry, not
+     * for control flow.
+     */
+    std::size_t
+    sizeApprox() const
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        return tail > head ? tail - head : 0;
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::size_t> seq{0};
+        T value{};
+    };
+
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        RTR_ASSERT(n >= 1, "MpmcQueue capacity must be >= 1");
+        std::size_t p = 2;
+        while (p < n)
+            p <<= 1;
+        return p;
+    }
+
+    // Head and tail tickets on separate cache lines so producers and
+    // consumers do not false-share.
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::vector<Cell> cells_;
+    std::size_t mask_;
+};
+
+} // namespace rtr
+
+#endif // RTR_UTIL_MPMC_QUEUE_H
