@@ -54,26 +54,28 @@ main(int argc, char **argv)
                  "results):\n";
     Table engines({"engine", "ROI (ms)", "raycast share",
                    "probes/ray", "final err (m)"});
-    double scalar_roi = 0.0, hier_roi = 0.0;
-    for (const std::string engine : {"scalar", "hier"}) {
+    double scalar_roi = 0.0, hier_roi = 0.0, packet_roi = 0.0;
+    for (const std::string engine : {"scalar", "hier", "packet"}) {
         KernelReport report =
             runKernelWarm("pfl", {"--raycast", engine});
-        (engine == "scalar" ? scalar_roi : hier_roi) =
+        (engine == "scalar"
+             ? scalar_roi
+             : (engine == "hier" ? hier_roi : packet_roi)) =
             report.roi_seconds;
         engines.addRow(
             {engine, Table::num(report.roi_seconds * 1e3, 0),
              Table::pct(report.metrics.at("raycast_fraction")),
-             Table::num(report.metrics.at(
-                            engine == "scalar"
-                                ? "probes_per_ray_scalar"
-                                : "probes_per_ray_hier"),
-                        1),
+             Table::num(report.metrics.at("probes_per_ray_" + engine), 1),
              Table::num(report.metrics.at("final_error_m"), 2)});
     }
     engines.print();
     if (hier_roi > 0.0) {
         std::cout << "pfl ROI speedup (scalar -> hier): "
                   << Table::num(scalar_roi / hier_roi, 2) << "x\n";
+    }
+    if (packet_roi > 0.0) {
+        std::cout << "pfl ROI speedup (scalar -> packet): "
+                  << Table::num(scalar_roi / packet_roi, 2) << "x\n";
     }
 
     // Fig. 2 series detail for the default region.

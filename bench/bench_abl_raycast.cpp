@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Ablation: the two axes that decide whether SIMD ray packets can pay
+ * on a given host/map (EXPERIMENTS.md "Ray-cast engine" reads its
+ * verdict from this data):
+ *
+ *  - Octant coherence: packets amortize pyramid descent across
+ *    coherent rays, so sweeping a scan's field of view from 2*pi
+ *    (all 8 octants) down to near-parallel rays bounds what perfect
+ *    binning could ever recover.
+ *  - Pyramid stride: the packet advance pays off only between probe
+ *    events, so the free-run length the pyramid certifies (DDA steps
+ *    per probe) decides how often the engine falls off the vector
+ *    path. Sweeping map openness moves that stride from ~1.5 cells
+ *    (coarse indoor) to ~60 (empty map).
+ *
+ * Every timed configuration asserts bitwise identity across the three
+ * engines and the binary exits 2 on any divergence, like
+ * `bench_micro --json`.
+ */
+
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "grid/map_gen.h"
+#include "grid/raycast.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace rtr;
+using namespace rtr::bench;
+
+bool g_identical = true;
+
+struct EngineTimes
+{
+    double scalar_sec = 0.0;
+    double hier_sec = 0.0;
+    double packet_sec = 0.0;
+    double rays = 0.0;
+};
+
+/**
+ * Best-of-5 castScan timing for all three engines over a set of scan
+ * origins, with identity asserted on the concatenated ranges.
+ */
+EngineTimes
+timeEngines(const OccupancyGrid2D &map, const std::vector<Vec2> &origins,
+            double start_angle, double fov, int n_rays, double max_range)
+{
+    auto sweep = [&](RayEngine engine, std::vector<double> &ranges) {
+        ranges.clear();
+        std::vector<double> scan;
+        for (const Vec2 &origin : origins) {
+            castScan(map, origin, start_angle, fov, n_rays, max_range,
+                     scan, engine);
+            ranges.insert(ranges.end(), scan.begin(), scan.end());
+        }
+    };
+    std::vector<double> scalar_ranges, hier_ranges, packet_ranges;
+    for (int w = 0; w < warmupRuns(); ++w) {
+        sweep(RayEngine::Scalar, scalar_ranges);
+        sweep(RayEngine::Hierarchical, hier_ranges);
+        sweep(RayEngine::Packet, packet_ranges);
+    }
+    EngineTimes times;
+    times.scalar_sec = times.hier_sec = times.packet_sec = 1e300;
+    for (int r = 0; r < 5; ++r) {
+        Stopwatch scalar_timer;
+        sweep(RayEngine::Scalar, scalar_ranges);
+        times.scalar_sec =
+            std::min(times.scalar_sec, scalar_timer.elapsedSec());
+        Stopwatch hier_timer;
+        sweep(RayEngine::Hierarchical, hier_ranges);
+        times.hier_sec = std::min(times.hier_sec, hier_timer.elapsedSec());
+        Stopwatch packet_timer;
+        sweep(RayEngine::Packet, packet_ranges);
+        times.packet_sec =
+            std::min(times.packet_sec, packet_timer.elapsedSec());
+    }
+    if (scalar_ranges != hier_ranges || scalar_ranges != packet_ranges)
+        g_identical = false;
+    times.rays = static_cast<double>(origins.size()) *
+                 static_cast<double>(n_rays);
+    return times;
+}
+
+/** Free-space scan origins, pfl-style. */
+std::vector<Vec2>
+freeOrigins(const OccupancyGrid2D &map, std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Vec2> origins;
+    while (origins.size() < n) {
+        Vec2 p{map.origin().x + rng.uniform(1.0, map.worldWidth() - 1.0),
+               map.origin().y + rng.uniform(1.0, map.worldHeight() - 1.0)};
+        if (!map.occupiedWorld(p))
+            origins.push_back(p);
+    }
+    return origins;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Harness harness(argc, argv);
+    requireKnownOptions(argc, argv);
+
+    banner("ablation — ray-packet engine: octant coherence and "
+           "pyramid stride",
+           "SIMD packets amortize pyramid descent across coherent rays; "
+           "their payoff is bounded by how long the pyramid's certified "
+           "free runs are");
+
+    // ---- Sweep A: octant coherence at fixed map ----
+    // One free origin on the fine indoor map, 3840 rays, field of view
+    // narrowing from all 8 octants to near-parallel rays. If packets
+    // lose even at fov=0.02 (every lane in one octant, nearly
+    // identical traversal), no amount of binning can save them here.
+    OccupancyGrid2D fine = makeIndoorMap(1200, 800, 0.05, 1);
+    const std::vector<Vec2> one_origin = freeOrigins(fine, 1, 7);
+    Table coherence({"fov (rad)", "octants", "scalar ns/ray",
+                     "packet ns/ray", "packet vs scalar",
+                     "packet vs hier"});
+    for (double fov : {6.2832, 1.5708, 0.3927, 0.02}) {
+        EngineTimes t =
+            timeEngines(fine, one_origin, -fov / 2.0, fov, 3840, 20.0);
+        const int octants = fov > 6.0 ? 8 : (fov > 1.5 ? 3 : 1);
+        coherence.addRow(
+            {Table::num(fov, 4), std::to_string(octants),
+             Table::num(t.scalar_sec * 1e9 / t.rays, 0),
+             Table::num(t.packet_sec * 1e9 / t.rays, 0),
+             Table::num(t.scalar_sec / t.packet_sec, 2) + "x",
+             Table::num(t.hier_sec / t.packet_sec, 2) + "x"});
+    }
+    coherence.print();
+
+    // ---- Sweep B: pyramid stride across map openness ----
+    // 64 pfl-style origins x 60 beams. The stride column (hier DDA
+    // steps per probe) is what the packet engine's vector path gets to
+    // run between scalar probe events.
+    std::cout << "\n";
+    Table stride({"map", "stride (steps/probe)", "scalar ns/ray",
+                  "hier ns/ray", "packet ns/ray", "packet vs scalar"});
+    struct MapCase
+    {
+        const char *name;
+        OccupancyGrid2D map;
+        double max_range;
+    };
+    MapCase cases[] = {
+        {"empty 1200x800 @ 0.05", OccupancyGrid2D(1200, 800, 0.05), 20.0},
+        {"sparse 1200x800 @ 0.05",
+         makeRandomObstacleMap(1200, 800, 0.0005, 5), 20.0},
+        {"indoor 1200x800 @ 0.05 (bench map)", std::move(fine), 20.0},
+        {"indoor 240x160 @ 0.25 (pfl map)",
+         makeIndoorMap(240, 160, 0.25, 1), 10.0},
+    };
+    for (MapCase &c : cases) {
+        const std::vector<Vec2> origins = freeOrigins(c.map, 64, 7);
+        EngineTimes t = timeEngines(c.map, origins, -2.0, 4.0, 60,
+                                    c.max_range);
+        RayCastStats stats;
+        std::vector<double> scan;
+        for (const Vec2 &origin : origins)
+            castScanCounted(c.map, origin, -2.0, 4.0, 60, c.max_range,
+                            scan, RayEngine::Hierarchical, stats);
+        stride.addRow(
+            {c.name,
+             Table::num(static_cast<double>(stats.steps) /
+                            static_cast<double>(stats.probes),
+                        1),
+             Table::num(t.scalar_sec * 1e9 / t.rays, 0),
+             Table::num(t.hier_sec * 1e9 / t.rays, 0),
+             Table::num(t.packet_sec * 1e9 / t.rays, 0),
+             Table::num(t.scalar_sec / t.packet_sec, 2) + "x"});
+    }
+    stride.print();
+
+    std::cout << "\nbitwise identical across engines: "
+              << (g_identical ? "yes" : "NO") << "\n";
+    return g_identical ? 0 : 2;
+}

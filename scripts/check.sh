@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Local CI: build + ctest across the sanitizer matrix.
 #
-#   scripts/check.sh              # release asan ubsan tsan scalar nn-node batch-scalar service
+#   scripts/check.sh              # release asan ubsan tsan scalar nn-node batch-scalar raycast-packet service
 #   scripts/check.sh release asan # just those variants
 #
 # Each variant uses its own build tree (build-check-<variant>) so the
@@ -15,7 +15,11 @@
 # default is the leaf-bucketed one) stays green too; it reuses the
 # release build tree. The batch-scalar variant does the same with
 # RTR_BATCH_ENGINE=scalar, keeping the reference rollout engine (the
-# default is the SoA batch engine) green. The service variant smokes
+# default is the SoA batch engine) green. The raycast-packet variant
+# runs the full suite with RTR_RAYCAST=packet in the Release tree
+# (every ray cast through the SIMD packet engine) plus the
+# thread-focused suites in the TSan tree, since the packet scan path
+# runs under parallelForChunks. The service variant smokes
 # the planning-as-a-service runtime end to end: the service/MPMC test
 # suites plus a bench_service run (its determinism replay exits 2 on
 # any divergence) in both the Release and TSan trees.
@@ -25,12 +29,28 @@ cd "$(dirname "$0")/.."
 
 variants=("$@")
 if [ ${#variants[@]} -eq 0 ]; then
-    variants=(release asan ubsan tsan scalar nn-node batch-scalar service)
+    variants=(release asan ubsan tsan scalar nn-node batch-scalar raycast-packet service)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
 for variant in "${variants[@]}"; do
+    if [ "${variant}" = "raycast-packet" ]; then
+        for mode in release tsan; do
+            rdir="build-check-${mode}"
+            rcmake=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
+            rtest=(--output-on-failure -j "${jobs}")
+            [ "${mode}" = "tsan" ] && rcmake+=(-DRTR_TSAN=ON) \
+                && rtest+=(-R 'Parallel|Telemetry|Raycast|CastScan')
+            echo "==== raycast-packet: configure + build (${rdir}) ===="
+            cmake -B "${rdir}" -S . "${rcmake[@]}" > /dev/null
+            cmake --build "${rdir}" -j "${jobs}"
+            echo "==== raycast-packet: ctest (${mode}) ===="
+            env RTR_RAYCAST=packet ctest --test-dir "${rdir}" \
+                "${rtest[@]}"
+        done
+        continue
+    fi
     if [ "${variant}" = "service" ]; then
         for mode in release tsan; do
             sdir="build-check-${mode}"

@@ -134,10 +134,17 @@ class BitPlane
         const int y0 = by << 3;
         const int y1 = std::min(y0 + 7, height_ - 1);
         const std::size_t w = static_cast<std::size_t>(x0 >> 6);
-        std::uint64_t accum = 0;
-        for (int y = y0; y <= y1; ++y)
-            accum |= words_[static_cast<std::size_t>(y) * words_per_row_ + w];
-        return ((accum >> (x0 & 63)) & 0xFFu) == 0;
+        const int shift = x0 & 63;
+        // Early exit on the first occupied row: a clear-path pyramid
+        // repair asks this of mostly-occupied blocks, where the answer
+        // is usually settled by row one of eight.
+        for (int y = y0; y <= y1; ++y) {
+            const std::uint64_t word =
+                words_[static_cast<std::size_t>(y) * words_per_row_ + w];
+            if ((word >> shift) & 0xFFu)
+                return false;
+        }
+        return true;
     }
 
     /** Total number of set bits. */
@@ -153,7 +160,7 @@ class BitPlane
     /** Raw word storage (row-major, wordsPerRow() words per row). */
     const std::vector<std::uint64_t> &words() const { return words_; }
 
-  private:
+    /** Index into words() of the word holding column x of row y. */
     std::size_t
     wordIndex(int x, int y) const
     {
@@ -161,6 +168,27 @@ class BitPlane
                static_cast<std::size_t>(x >> 6);
     }
 
+    /** Read one raw word by index. */
+    std::uint64_t word(std::size_t index) const { return words_[index]; }
+
+    /**
+     * Apply a batched edit to one word: clear the bits of @p clear_mask,
+     * then set the bits of @p set_mask — one read-modify-write for any
+     * number of single-bit edits that folded into the masks. Returns
+     * the changed bits (old XOR new), which is what pyramid repair
+     * needs to find its dirtied blocks.
+     */
+    std::uint64_t
+    updateWord(std::size_t index, std::uint64_t set_mask,
+               std::uint64_t clear_mask)
+    {
+        const std::uint64_t old = words_[index];
+        const std::uint64_t updated = (old & ~clear_mask) | set_mask;
+        words_[index] = updated;
+        return old ^ updated;
+    }
+
+  private:
     int width_ = 0;
     int height_ = 0;
     int words_per_row_ = 0;

@@ -49,6 +49,21 @@ RectFootprint::collides(const OccupancyGrid2D &grid, const Pose2 &pose) const
     std::size_t checked = 0;
     if (lo.x >= 0 && lo.y >= 0 && hi.x < grid.width() &&
         hi.y < grid.height()) {
+        // Pyramid fast accept: when every level-1 block covering the
+        // bounding box is certified empty, no cell under the footprint
+        // can be occupied — the verdict is false without a single
+        // row scan. Valid only in the fully-in-bounds case (outside
+        // cells count as occupied but are not in any block).
+        if (grid.pyramidLevels() >= 1) {
+            const BitPlane &l1 = grid.pyramidLevel(1);
+            bool any = false;
+            for (int by = lo.y >> 3; by <= (hi.y >> 3) && !any; ++by)
+                any = l1.anyInRowSpan(by, lo.x >> 3, hi.x >> 3);
+            if (!any) {
+                last_cells_checked_ = 0;
+                return false;
+            }
+        }
         // Fully in bounds (the common planner case): scan each row's
         // span on the bitboard and project only the occupied cells —
         // free rows cost a couple of masked word tests and no

@@ -15,24 +15,17 @@ void
 fillRect(OccupancyGrid2D &grid, int x0, int y0, int x1, int y1,
          bool value = true)
 {
-    for (int y = y0; y <= y1; ++y) {
-        for (int x = x0; x <= x1; ++x)
-            grid.setOccupied(x, y, value);
-    }
+    grid.setRect(x0, y0, x1, y1, value);
 }
 
 /** Draw a 1-cell-thick rectangle outline. */
 void
 outlineRect(OccupancyGrid2D &grid, int x0, int y0, int x1, int y1)
 {
-    for (int x = x0; x <= x1; ++x) {
-        grid.setOccupied(x, y0, true);
-        grid.setOccupied(x, y1, true);
-    }
-    for (int y = y0; y <= y1; ++y) {
-        grid.setOccupied(x0, y, true);
-        grid.setOccupied(x1, y, true);
-    }
+    grid.setRect(x0, y0, x1, y0, true);
+    grid.setRect(x0, y1, x1, y1, true);
+    grid.setRect(x0, y0, x0, y1, true);
+    grid.setRect(x1, y0, x1, y1, true);
 }
 
 } // namespace
@@ -238,10 +231,8 @@ scaleMap(const OccupancyGrid2D &grid, int factor)
         for (int x = 0; x < grid.width(); ++x) {
             if (!grid.occupiedUnchecked(x, y))
                 continue;
-            for (int dy = 0; dy < factor; ++dy) {
-                for (int dx = 0; dx < factor; ++dx)
-                    out.setOccupied(x * factor + dx, y * factor + dy, true);
-            }
+            out.setRect(x * factor, y * factor, x * factor + factor - 1,
+                        y * factor + factor - 1, true);
         }
     }
     return out;

@@ -1,5 +1,6 @@
 #include "grid/occupancy_grid2d.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
@@ -62,6 +63,151 @@ OccupancyGrid2D::setOccupied(int x, int y, bool value)
             child = &plane;
         }
     }
+}
+
+namespace {
+
+/** Packed pyramid block key: (by << 32) | bx, both nonnegative. */
+inline std::uint64_t
+blockKey(int bx, int by)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(by))
+            << 32) |
+           static_cast<std::uint32_t>(bx);
+}
+
+} // namespace
+
+void
+OccupancyGrid2D::repairPyramid(std::vector<std::uint64_t> &dirty)
+{
+    const BitPlane *child = &bits_;
+    std::vector<std::uint64_t> next;
+    for (BitPlane &plane : pyramid_) {
+        if (dirty.empty())
+            return;
+        // Sorting groups blocks of the same summary word together, so
+        // the word's folded masks apply in one read-modify-write.
+        std::sort(dirty.begin(), dirty.end());
+        dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+        next.clear();
+        std::size_t i = 0;
+        while (i < dirty.size()) {
+            const int bx0 = static_cast<int>(dirty[i] & 0xFFFFFFFFu);
+            const int by = static_cast<int>(dirty[i] >> 32);
+            const std::size_t widx = plane.wordIndex(bx0, by);
+            std::uint64_t set_mask = 0, clear_mask = 0;
+            do {
+                const int bx = static_cast<int>(dirty[i] & 0xFFFFFFFFu);
+                const std::uint64_t bit = std::uint64_t{1} << (bx & 63);
+                if (child->blockEmpty8(bx, by))
+                    clear_mask |= bit;
+                else
+                    set_mask |= bit;
+                ++i;
+            } while (i < dirty.size() &&
+                     plane.wordIndex(
+                         static_cast<int>(dirty[i] & 0xFFFFFFFFu),
+                         static_cast<int>(dirty[i] >> 32)) == widx);
+            const std::uint64_t changed =
+                plane.updateWord(widx, set_mask, clear_mask);
+            if (changed == 0)
+                continue;
+            const int wx_base = (bx0 >> 6) << 6;
+            for (std::uint64_t bits = changed; bits != 0;
+                 bits &= bits - 1) {
+                const int bx = wx_base + std::countr_zero(bits);
+                next.push_back(
+                    blockKey(bx >> kBlockShift, by >> kBlockShift));
+            }
+        }
+        dirty.swap(next);
+        child = &plane;
+    }
+}
+
+void
+OccupancyGrid2D::applyEdits(std::span<const CellEdit> edits)
+{
+    // Collect the in-bounds edits as (word, bit, value) triples; the
+    // byte mirror takes the writes directly (it has no fold to win).
+    struct WordEdit
+    {
+        std::uint64_t word;
+        std::uint64_t bit;
+        bool value;
+    };
+    std::vector<WordEdit> word_edits;
+    word_edits.reserve(edits.size());
+    for (const CellEdit &e : edits) {
+        if (!inBounds(e.x, e.y))
+            continue;
+        cells_[static_cast<std::size_t>(e.y) * width_ + e.x] =
+            e.occupied ? 1 : 0;
+        word_edits.push_back({bits_.wordIndex(e.x, e.y),
+                              std::uint64_t{1} << (e.x & 63), e.occupied});
+    }
+    if (word_edits.empty())
+        return;
+    // Stable sort preserves edit order within a word, so folding the
+    // masks front to back keeps last-writer-wins semantics.
+    std::stable_sort(word_edits.begin(), word_edits.end(),
+                     [](const WordEdit &a, const WordEdit &b) {
+                         return a.word < b.word;
+                     });
+    std::vector<std::uint64_t> dirty;
+    std::size_t i = 0;
+    while (i < word_edits.size()) {
+        const std::uint64_t widx = word_edits[i].word;
+        std::uint64_t set_mask = 0, clear_mask = 0;
+        do {
+            if (word_edits[i].value) {
+                set_mask |= word_edits[i].bit;
+                clear_mask &= ~word_edits[i].bit;
+            } else {
+                clear_mask |= word_edits[i].bit;
+                set_mask &= ~word_edits[i].bit;
+            }
+            ++i;
+        } while (i < word_edits.size() && word_edits[i].word == widx);
+        const std::uint64_t changed =
+            bits_.updateWord(widx, set_mask, clear_mask);
+        if (changed == 0)
+            continue;
+        const int y = static_cast<int>(widx / bits_.wordsPerRow());
+        const int wx_base =
+            static_cast<int>(widx % bits_.wordsPerRow()) << 6;
+        for (std::uint64_t bits = changed; bits != 0; bits &= bits - 1) {
+            const int x = wx_base + std::countr_zero(bits);
+            dirty.push_back(blockKey(x >> kBlockShift, y >> kBlockShift));
+        }
+    }
+    repairPyramid(dirty);
+}
+
+void
+OccupancyGrid2D::setRect(int x0, int y0, int x1, int y1, bool value)
+{
+    const int cx0 = std::max(x0, 0);
+    const int cy0 = std::max(y0, 0);
+    const int cx1 = std::min(x1, width_ - 1);
+    const int cy1 = std::min(y1, height_ - 1);
+    if (cx0 > cx1 || cy0 > cy1)
+        return;
+    const std::uint8_t byte = value ? 1 : 0;
+    for (int y = cy0; y <= cy1; ++y) {
+        std::uint8_t *row = cells_.data() +
+                            static_cast<std::size_t>(y) * width_;
+        std::fill(row + cx0, row + cx1 + 1, byte);
+        bits_.setRowSpan(y, cx0, cx1, value);
+    }
+    // Every covered block is (possibly) dirty; recomputing a block
+    // whose bit did not change is harmless and writes its word once.
+    std::vector<std::uint64_t> dirty;
+    for (int by = cy0 >> kBlockShift; by <= (cy1 >> kBlockShift); ++by)
+        for (int bx = cx0 >> kBlockShift; bx <= (cx1 >> kBlockShift); ++bx)
+            dirty.push_back(blockKey(bx, by));
+    repairPyramid(dirty);
 }
 
 Vec2

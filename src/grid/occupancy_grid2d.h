@@ -20,6 +20,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geom/vec2.h"
@@ -34,6 +35,14 @@ struct Cell2
     int y = 0;
 
     constexpr bool operator==(const Cell2 &o) const = default;
+};
+
+/** One cell write in an OccupancyGrid2D::applyEdits batch. */
+struct CellEdit
+{
+    int x = 0;
+    int y = 0;
+    bool occupied = true;
 };
 
 /**
@@ -94,6 +103,28 @@ class OccupancyGrid2D
 
     /** Mark a cell occupied/free; out-of-bounds writes are ignored. */
     void setOccupied(int x, int y, bool value = true);
+
+    /**
+     * Apply a batch of cell edits in one pass. The result is exactly
+     * that of calling setOccupied(e.x, e.y, e.occupied) for each edit
+     * in order (out-of-bounds edits ignored, later edits to a cell
+     * win), but the cost scales with distinct touched words, not
+     * edits: the batch folds into per-word set/clear masks applied
+     * with one read-modify-write per bitboard word, and pyramid repair
+     * rebuilds only the blocks whose bits actually changed — one write
+     * per dirtied summary word per level. This is the intended path
+     * for dynamic-obstacle updates (movtar-style), where per-cell
+     * clears would otherwise each pay a block rescan per level.
+     */
+    void applyEdits(std::span<const CellEdit> edits);
+
+    /**
+     * Set or clear the in-bounds part of the cell rectangle
+     * [x0, x1] x [y0, y1] (inclusive). Equivalent to setOccupied over
+     * every covered cell, but writes each bitboard word once per row
+     * span and repairs each covered pyramid block once.
+     */
+    void setRect(int x0, int y0, int x1, int y1, bool value = true);
 
     /**
      * Whether the world point falls in an occupied (or outside) cell.
@@ -174,6 +205,14 @@ class OccupancyGrid2D
     }
 
   private:
+    /**
+     * Recompute the pyramid bits of the level-1 blocks named in
+     * @p dirty (packed (by << 32) | bx keys, duplicates allowed) and
+     * propagate upward, level by level, visiting only blocks whose bit
+     * changed. Each summary word is written at most once per level.
+     */
+    void repairPyramid(std::vector<std::uint64_t> &dirty);
+
     int width_;
     int height_;
     double resolution_;

@@ -126,10 +126,11 @@ class ParticleFilter
 
     /**
      * Select the occupancy-query engine for measurement updates. The
-     * hierarchical default skips pyramid-certified empty blocks; the
-     * scalar engine probes every traversed cell (the paper-faithful
-     * cost profile). Ranges, and therefore weights, are bitwise
-     * identical either way.
+     * default comes from defaultRayEngine() (hier, or the RTR_RAYCAST
+     * override); packet traces octant-binned SIMD ray packets through
+     * the same pyramid, and scalar probes every traversed cell (the
+     * paper-faithful cost profile). Ranges, and therefore weights, are
+     * bitwise identical under every engine.
      */
     void setRayEngine(RayEngine engine) { ray_engine_ = engine; }
 
@@ -221,7 +222,7 @@ class ParticleFilter
     MotionNoise motion_noise_;
     BeamSensorModel sensor_model_;
     std::vector<Particle> particles_;
-    RayEngine ray_engine_ = RayEngine::Hierarchical;
+    RayEngine ray_engine_ = defaultRayEngine();
     BatchEngine motion_engine_ = defaultBatchEngine();
     BatchEngine weight_engine_ = defaultPflWeightEngine();
     std::size_t rays_cast_ = 0;

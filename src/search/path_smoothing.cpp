@@ -20,7 +20,17 @@ hasLineOfSight(const OccupancyGrid2D &grid, const Cell2 &a, const Cell2 &b)
     // Sample points inside a pyramid-certified empty block need no
     // occupancy probe; the region is clamped to the grid so
     // out-of-bounds samples (which count as blocked) always get
-    // probed. Identical verdict to probing every sample.
+    // probed. Identical verdict to probing every sample. The two
+    // summary planes are hoisted (like castRay's probe path) so each
+    // non-skipped sample touches cached fields instead of re-walking
+    // the pyramid vector; levels past 2 are ignored — a 512-cell-wide
+    // certified block exceeds any smoothing segment worth skipping.
+    const BitPlane *l1 = nullptr;
+    const BitPlane *l2 = nullptr;
+    if (grid.pyramidLevels() >= 1)
+        l1 = &grid.pyramidLevel(1);
+    if (grid.pyramidLevels() >= 2)
+        l2 = &grid.pyramidLevel(2);
     int skip_x0 = 0, skip_x1 = -1;
     int skip_y0 = 0, skip_y1 = -1;
     for (int s = 0; s <= steps; ++s) {
@@ -32,9 +42,10 @@ hasLineOfSight(const OccupancyGrid2D &grid, const Cell2 &a, const Cell2 &b)
             continue;
         if (!grid.inBounds(c.x, c.y))
             return false;
-        const int level = grid.emptyBlockLevel(c.x, c.y);
-        if (level > 0) {
-            const int shift = OccupancyGrid2D::kBlockShift * level;
+        int shift = 0;
+        if (l1 && !l1->test(c.x >> 3, c.y >> 3))
+            shift = (l2 && !l2->test(c.x >> 6, c.y >> 6)) ? 6 : 3;
+        if (shift > 0) {
             skip_x0 = (c.x >> shift) << shift;
             skip_y0 = (c.y >> shift) << shift;
             skip_x1 = std::min(skip_x0 + (1 << shift) - 1,

@@ -307,6 +307,106 @@ TEST(MapGen, Campus3DHasGroundAndAir)
     EXPECT_GT(free_at_top, 64u * 64u / 2);
 }
 
+/**
+ * Every mirror (byte array, bitboard, every pyramid plane) of a grid
+ * maintained by batch APIs must be byte-identical to a twin maintained
+ * by the equivalent sequence of setOccupied calls.
+ */
+void
+expectGridsByteIdentical(const OccupancyGrid2D &a, const OccupancyGrid2D &b,
+                         const char *what)
+{
+    ASSERT_EQ(a.cells(), b.cells()) << what << ": byte mirror differs";
+    ASSERT_EQ(a.bits().words(), b.bits().words())
+        << what << ": bitboard differs";
+    ASSERT_EQ(a.pyramidLevels(), b.pyramidLevels());
+    for (int level = 1; level <= a.pyramidLevels(); ++level) {
+        ASSERT_EQ(a.pyramidLevel(level).words(),
+                  b.pyramidLevel(level).words())
+            << what << ": pyramid level " << level << " differs";
+    }
+}
+
+TEST(OccupancyGrid2D, ApplyEditsMatchesSequentialSetOccupied)
+{
+    OccupancyGrid2D batch(200, 130, 0.5);
+    OccupancyGrid2D twin(200, 130, 0.5);
+    Rng rng(101);
+    std::vector<CellEdit> edits;
+    for (int round = 0; round < 50; ++round) {
+        edits.clear();
+        const int n = 1 + static_cast<int>(rng.index(120));
+        for (int e = 0; e < n; ++e) {
+            // Mix clustered and scattered edits, duplicates of the
+            // same cell (later writes must win), and out-of-bounds
+            // writes (must be ignored).
+            int x = static_cast<int>(rng.index(208)) - 4;
+            int y = static_cast<int>(rng.index(138)) - 4;
+            edits.push_back({x, y, rng.uniform() < 0.5});
+            if (rng.uniform() < 0.2)
+                edits.push_back({x, y, rng.uniform() < 0.5});
+        }
+        batch.applyEdits(edits);
+        for (const CellEdit &e : edits)
+            twin.setOccupied(e.x, e.y, e.occupied);
+        expectGridsByteIdentical(batch, twin, "applyEdits");
+    }
+}
+
+TEST(OccupancyGrid2D, ApplyEditsEmptyAndAllOutOfBoundsAreNoOps)
+{
+    OccupancyGrid2D grid(40, 40);
+    grid.setOccupied(5, 5);
+    OccupancyGrid2D twin(40, 40);
+    twin.setOccupied(5, 5);
+    grid.applyEdits({});
+    std::vector<CellEdit> oob{{-1, 0, true}, {40, 39, true}, {0, -7, false}};
+    grid.applyEdits(oob);
+    expectGridsByteIdentical(grid, twin, "no-op applyEdits");
+}
+
+TEST(OccupancyGrid2D, SetRectMatchesSequentialSetOccupied)
+{
+    OccupancyGrid2D batch(150, 90, 1.0);
+    OccupancyGrid2D twin(150, 90, 1.0);
+    Rng rng(77);
+    for (int round = 0; round < 60; ++round) {
+        // Rects of every shape: cells, rows, columns, blocks spanning
+        // word and pyramid boundaries, partly out of bounds.
+        int x0 = static_cast<int>(rng.index(160)) - 5;
+        int y0 = static_cast<int>(rng.index(100)) - 5;
+        int x1 = x0 + static_cast<int>(rng.index(70));
+        int y1 = y0 + static_cast<int>(rng.index(40));
+        bool value = rng.uniform() < 0.6;
+        batch.setRect(x0, y0, x1, y1, value);
+        for (int y = y0; y <= y1; ++y)
+            for (int x = x0; x <= x1; ++x)
+                twin.setOccupied(x, y, value);
+        expectGridsByteIdentical(batch, twin, "setRect");
+    }
+}
+
+TEST(OccupancyGrid2D, ClearPathPyramidRepairStaysConsistent)
+{
+    // Dense fill then cell-by-cell clears: the clear path's per-level
+    // early-exit block rescan must keep every pyramid bit equal to the
+    // OR of its child block (checked via emptyBlockLevel agreeing with
+    // a from-scratch grid).
+    OccupancyGrid2D grid(64, 64);
+    grid.setRect(0, 0, 63, 63, true);
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        grid.setOccupied(static_cast<int>(rng.index(64)),
+                         static_cast<int>(rng.index(64)), false);
+    }
+    OccupancyGrid2D rebuilt(64, 64);
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 64; ++x)
+            if (grid.occupiedUnchecked(x, y))
+                rebuilt.setOccupied(x, y, true);
+    expectGridsByteIdentical(grid, rebuilt, "clear-path repair");
+}
+
 TEST(CostGrid, FieldProperties)
 {
     CostGrid2D field = makeCostField(64, 64, 9, 1.0, 10.0, 0.05);
